@@ -1,0 +1,52 @@
+"""EXT-1 — the paper's future work: cost-effective congestion mitigation.
+
+"In future, we plan to assess the complexity and cost of the various
+design configurations in order to evaluate most cost-effective ways to
+mitigate the bandwidth bottleneck."
+
+Combines the Section IV exploration with a relative area/complexity cost
+model over the Table I rows, ranks configurations by gain-per-cost and
+extracts the pareto frontier.
+"""
+
+import pytest
+
+from repro.core.cost_model import (
+    cost_effectiveness,
+    pareto_frontier,
+    render_cost_effectiveness,
+)
+from repro.core.explorer import SECTION_IV_CONFIGS
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_cost_effectiveness(
+    benchmark, section_iv_exploration, save_report
+):
+    def run():
+        points = cost_effectiveness(
+            section_iv_exploration, SECTION_IV_CONFIGS)
+        return points, pareto_frontier(points)
+
+    points, frontier = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report(
+        "ext_cost_effectiveness",
+        render_cost_effectiveness(points, frontier))
+
+    by_label = {p.label: p for p in points}
+    for p in points:
+        benchmark.extra_info[f"{p.label}_eff"] = round(p.efficiency, 2)
+
+    # The L2 level should be the most cost-effective single level (its gain
+    # dwarfs the others at comparable cost) ...
+    singles = [by_label[l] for l in ("l1", "l2", "dram")]
+    assert max(singles, key=lambda p: p.efficiency).label == "l2"
+    # ... and must sit on the pareto frontier.
+    frontier_labels = {p.label for p in frontier}
+    assert "l2" in frontier_labels or "l1+l2" in frontier_labels
+    # The frontier is cost-sorted with non-decreasing gains.
+    assert frontier
+    costs = [p.cost for p in frontier]
+    gains = [p.gain for p in frontier]
+    assert costs == sorted(costs)
+    assert gains == sorted(gains)

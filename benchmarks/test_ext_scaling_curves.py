@@ -1,0 +1,70 @@
+"""EXT-3 — scaling-coefficient curves (Table I's "~4x" made a variable).
+
+The paper chooses 4x "just to demonstrate the potential of resolving
+congestion at each level".  This extension sweeps the coefficient (1x,
+2x, 4x) per level over a representative benchmark pair and reports where
+each level's benefit saturates.
+"""
+
+import pytest
+
+from repro.core.bottleneck import diagnose_suite, render_diagnoses
+from repro.core.scaling_curve import (
+    render_scaling_curves,
+    sweep_scaling_coefficient,
+)
+
+BENCHES = ("sc", "lbm")
+FACTORS = (1, 2, 4)
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_scaling_curves(benchmark, baseline_config, scale, save_report):
+    def run():
+        return [
+            sweep_scaling_coefficient(
+                baseline_config, level, factors=FACTORS,
+                benchmarks=BENCHES, iteration_scale=scale)
+            for level in ("l2", "dram")
+        ]
+
+    curves = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ext_scaling_curves", render_scaling_curves(curves))
+    by_level = {c.level: c for c in curves}
+    for level, curve in by_level.items():
+        for factor in FACTORS:
+            benchmark.extra_info[f"{level}_{factor}x"] = round(
+                curve.average_speedup(factor), 3)
+
+    # Gains grow (weakly) with the coefficient for both levels.
+    for curve in curves:
+        speedups = [curve.average_speedup(f) for f in FACTORS]
+        for lo, hi in zip(speedups, speedups[1:]):
+            assert hi >= lo * 0.97
+    # On this pair the L2 level gains more from its 4x than DRAM does.
+    assert (
+        by_level["l2"].average_speedup(4)
+        > by_level["dram"].average_speedup(4) * 0.9
+    )
+
+
+@pytest.mark.benchmark(group="extension")
+def test_ext_bottleneck_classification(
+    benchmark, baseline_config, scale, save_report
+):
+    """The automated classifier reproduces the suite's design intent."""
+
+    def run():
+        return diagnose_suite(baseline_config, iteration_scale=scale)
+
+    diagnoses = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ext_bottleneck_classification", render_diagnoses(diagnoses))
+    by_name = {d.benchmark: d.bottleneck.value for d in diagnoses}
+    benchmark.extra_info.update(by_name)
+
+    assert by_name["leukocyte"] == "compute"
+    assert by_name["lbm"] == "dram_bandwidth"
+    assert by_name["sc"] == "l1_l2_bandwidth"
+    assert by_name["nw"] == "latency"
+    # Every benchmark gets a deterministic verdict.
+    assert len(by_name) == 8

@@ -1,0 +1,54 @@
+"""E4 — Table I: the consolidated design space.
+
+Regenerates the paper's Table I (parameter, type, baseline, ~4x scaled
+value) directly from the configuration system, and verifies that applying
+each row actually produces the stated value in a concrete ``GPUConfig`` —
+i.e. the printed table and the simulated architecture cannot drift apart.
+"""
+
+import pytest
+
+from repro import TABLE_I, render_table_i, scaled_config, small_gpu
+from repro.core.design_space import parameters_for_level
+
+#: How each Table I key is read back out of a GPUConfig.
+_READERS = {
+    "dram_sched_queue": lambda c: c.dram.sched_queue_depth,
+    "dram_banks": lambda c: c.dram.banks,
+    "dram_bus_width": lambda c: c.dram.bus_bytes,
+    "l2_miss_queue": lambda c: c.l2.miss_queue_depth,
+    "l2_response_queue": lambda c: c.l2.response_queue_depth,
+    "l2_mshr": lambda c: c.l2.mshr_entries,
+    "l2_access_queue": lambda c: c.l2.access_queue_depth,
+    "l2_data_port": lambda c: c.l2.data_port_bytes,
+    "flit_size": lambda c: c.icnt.flit_bytes,
+    "l2_banks": lambda c: c.l2.banks,
+    "l1_miss_queue": lambda c: c.l1.miss_queue_depth,
+    "l1_mshr": lambda c: c.l1.mshr_entries,
+    "mem_pipeline_width": lambda c: c.core.mem_pipeline_width,
+}
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_design_space(benchmark, baseline_config, save_report):
+    def run():
+        return render_table_i()
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("table1_design_space", table)
+
+    assert len(TABLE_I) == 13 == len(_READERS)
+    for parameter in TABLE_I:
+        reader = _READERS[parameter.key]
+        # Baseline value in the default configuration...
+        assert reader(baseline_config) == parameter.baseline, parameter.key
+        # ...and the scaled value after applying the row.
+        scaled = scaled_config(baseline_config, parameter.key)
+        assert reader(scaled) == parameter.scaled, parameter.key
+        # The paper's ~4x scaling (bus width is the stated 2x exception).
+        ratio = parameter.scaled / parameter.baseline
+        assert ratio == (2.0 if parameter.key == "dram_bus_width" else 4.0)
+
+    # Level grouping exactly as printed: (a) DRAM 3, (b) L2 7, (c) L1 3.
+    assert [len(parameters_for_level(l)) for l in ("dram", "l2", "l1")] == [3, 7, 3]
+    benchmark.extra_info["rows"] = len(TABLE_I)

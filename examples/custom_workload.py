@@ -1,0 +1,77 @@
+"""Build a custom workload and architecture, and compare design points.
+
+Shows the library as a tool rather than a fixed reproduction:
+
+1. define a new synthetic kernel (a pointer-chase-like, divergent,
+   latency-sensitive workload) from scratch;
+2. run it against the baseline, against a doubled-L2 design, and under
+   both warp schedulers (LRR vs GTO);
+3. sweep one Table I parameter (the DRAM scheduler queue) to see where
+   its benefit saturates.
+
+Usage::
+
+    python examples/custom_workload.py
+"""
+
+import dataclasses
+
+from repro import (
+    GPUConfig,
+    SyntheticKernelSpec,
+    build_kernel,
+    run_kernel,
+    small_gpu,
+    sweep_parameter,
+)
+
+def main() -> None:
+    # 1. A divergent, irregular kernel: each load touches 4 scattered lines
+    #    over a footprint twice the L2, with little compute to hide latency.
+    spec = SyntheticKernelSpec(
+        name="graph-walk",
+        pattern="random",
+        iterations=24,
+        compute_per_iter=4,
+        loads_per_iter=2,
+        txns_per_load=4,
+        txn_spread=5,
+        working_set_lines=8192,
+        mlp_limit=2,
+        description="divergent irregular traversal (custom)",
+    )
+    kernel = build_kernel(spec)
+    config = small_gpu()
+
+    print("=== baseline vs doubled L2 capacity ===", flush=True)
+    base = run_kernel(config, kernel)
+    big_l2 = dataclasses.replace(
+        config, l2=dataclasses.replace(config.l2, size_bytes=256 * 1024))
+    big = run_kernel(big_l2, kernel)
+    print(f"  baseline : IPC {base.ipc:.3f}, L2 hit {base.l2_hit_rate:.1%}, "
+          f"miss latency {base.l1_avg_miss_latency:.0f} cy")
+    print(f"  2x L2    : IPC {big.ipc:.3f}, L2 hit {big.l2_hit_rate:.1%}, "
+          f"miss latency {big.l1_avg_miss_latency:.0f} cy "
+          f"({big.speedup_over(base):.2f}x)")
+
+    print("\n=== warp scheduler comparison (LRR vs GTO) ===", flush=True)
+    for sched in ("lrr", "gto"):
+        k = build_kernel(dataclasses.replace(spec, scheduler=sched))
+        m = run_kernel(config, k)
+        print(f"  {sched}: IPC {m.ipc:.3f}, L1 hit {m.l1_hit_rate:.1%}, "
+              f"L2 hit {m.l2_hit_rate:.1%}")
+
+    print("\n=== DRAM scheduler-queue depth sweep ===", flush=True)
+    sweep = sweep_parameter(
+        config, "dram_sched_queue", values=(8, 16, 32, 64),
+        benchmark="cfd", iteration_scale=0.5)
+    for value, speedup in sweep.speedups().items():
+        m = sweep.points[value]
+        print(f"  {value:>3} entries: {speedup:.2f}x vs shallowest "
+              f"(row-hit rate {m.dram_row_hit_rate:.1%})")
+    print("\nDeeper scheduler queues expose more row hits (an '='-type "
+          "parameter in Table I) until another resource binds.")
+
+
+if __name__ == "__main__":
+    main()

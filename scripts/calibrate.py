@@ -1,0 +1,22 @@
+"""Calibration helper: baseline + magic-zero-latency stats for the suite."""
+import sys, time
+from repro import small_gpu, get_benchmark, run_kernel, PAPER_SUITE
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+cfg = small_gpu()
+names = sys.argv[2:] or list(PAPER_SUITE)
+print(f"{'bench':<10} {'cyc':>7} {'ipc':>6} {'m0ipc':>6} {'peak':>5} "
+      f"{'l1hr':>5} {'l2hr':>5} {'mlat':>5} {'accqF':>5} {'dramF':>5} "
+      f"{'respF':>5} {'missqF':>6} {'rowHR':>5} {'busU':>5} {'wall':>5}")
+for name in names:
+    k = get_benchmark(name, scale)
+    t = time.time()
+    m = run_kernel(cfg, k)
+    m0 = run_kernel(cfg.with_magic_memory(0), k)
+    w = time.time() - t
+    print(f"{name:<10} {m.cycles:>7} {m.ipc:>6.2f} {m0.ipc:>6.2f} "
+          f"{m0.ipc/m.ipc:>5.1f} {m.l1_hit_rate:>5.2f} {m.l2_hit_rate:>5.2f} "
+          f"{m.l1_avg_miss_latency:>5.0f} {m.l2_accessq.full_fraction:>5.2f} "
+          f"{m.dram_schedq.full_fraction:>5.2f} {m.l2_respq.full_fraction:>5.2f} "
+          f"{m.l2_missq.full_fraction:>6.2f} {m.dram_row_hit_rate:>5.2f} "
+          f"{m.dram_bus_utilization:>5.2f} {w:>5.1f}")

@@ -1,0 +1,18 @@
+"""Dev helper: Figure 1 curves for the suite."""
+import sys, time
+from repro import small_gpu, profile_latency_tolerance, PAPER_SUITE
+from repro.core.report import render_figure1
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
+lats = [int(x) for x in sys.argv[2:]] or list(range(0, 801, 100))
+t = time.time()
+profiles = []
+for name in PAPER_SUITE:
+    p = profile_latency_tolerance(name, small_gpu(), latencies=lats,
+                                  iteration_scale=scale)
+    profiles.append(p)
+    print(f"{name:<10} base_ipc {p.baseline_ipc:5.2f} mlat {p.baseline_avg_miss_latency:5.0f} "
+          f"peak {p.peak_normalized_ipc:4.1f} plateau {p.plateau_latency():>4} "
+          f"intercept {p.intercept_latency() if p.intercept_latency() is not None else '>800'}")
+print(render_figure1(profiles))
+print("wall", round(time.time()-t,1))

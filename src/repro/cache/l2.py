@@ -1,0 +1,272 @@
+"""One memory partition's L2 slice.
+
+Banked, write-back, write-allocate, with the full Table I resource set:
+
+* **L2 access queue** — filled by the request crossbar, drained by the
+  banks (at most one accept per bank per cycle, head-of-line order).
+* **banks** — pipelined tag/data access of ``bank_latency`` cycles; a bank
+  whose completed request cannot acquire downstream resources (data port,
+  response queue, MSHR, miss queue, replaceable line) holds at its output
+  register, eventually filling its pipeline and refusing new input, which
+  backs the access queue up into the crossbar — the paper's back-pressure
+  cascade.
+* **L2 data port** — every line-carrying response occupies the partition's
+  return port for ``ceil(line / data_port_bytes)`` cycles.
+* **MSHR / miss queue / response queue** — per Table I.
+
+Fills returning from DRAM install into a way *reserved at miss time*
+(dirty victims generate writeback traffic to DRAM at miss time as well),
+then fan out one response per merged requester through the data port.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cache.mshr import MSHRProbe, MSHRTable
+from repro.cache.tag_array import TagArray
+from repro.mem.address import AddressMapper
+from repro.mem.pipe import DelayPipe
+from repro.mem.queue import StatQueue
+from repro.mem.request import AccessKind, MemoryRequest
+from repro.sim.component import Component
+from repro.sim.config import GPUConfig
+
+
+@dataclass
+class _Bank:
+    """One L2 bank: a fixed-latency pipeline plus an output register."""
+
+    pipe: DelayPipe[MemoryRequest]
+    depth: int
+    output: MemoryRequest | None = None
+    accepted_this_cycle: bool = False
+    #: Cycles the output register held a request it could not retire.
+    blocked_cycles: int = 0
+
+    def can_accept(self) -> bool:
+        return not self.accepted_this_cycle and len(self.pipe) < self.depth
+
+
+class L2Slice(Component):
+    """L2 cache slice + queue set for one memory partition."""
+
+    def __init__(
+        self,
+        name: str,
+        config: GPUConfig,
+        mapper: AddressMapper,
+        partition_id: int,
+    ) -> None:
+        self.name = name
+        self.partition_id = partition_id
+        self._config = config
+        self._mapper = mapper
+        cfg = config.l2
+        n_sets = cfg.size_bytes // (config.line_bytes * cfg.assoc)
+        self.tags = TagArray(f"{name}.tags", n_sets, cfg.assoc)
+        self.mshr = MSHRTable(f"{name}.mshr", cfg.mshr_entries, cfg.mshr_max_merge)
+        self.access_queue: StatQueue[MemoryRequest] = StatQueue(
+            f"{name}.access_queue", cfg.access_queue_depth
+        )
+        self.miss_queue: StatQueue[MemoryRequest] = StatQueue(
+            f"{name}.miss_queue", cfg.miss_queue_depth
+        )
+        self.response_queue: StatQueue[MemoryRequest] = StatQueue(
+            f"{name}.response_queue", cfg.response_queue_depth
+        )
+        self.banks = [
+            _Bank(
+                pipe=DelayPipe(f"{name}.bank{i}", cfg.bank_latency),
+                depth=cfg.bank_latency,
+            )
+            for i in range(cfg.banks)
+        ]
+        self._port_cycles = config.l2_port_cycles
+        self._port_free_at = 0
+        #: Responses awaiting the data port (produced by fills).
+        self._pending_responses: list[MemoryRequest] = []
+        self._pending_cap = 4 * cfg.mshr_max_merge
+        #: Set by the GPU wiring: the DRAM channel whose return queue we drain.
+        self.dram = None
+        # --- statistics ---
+        self.store_hits: int = 0
+        self.store_completions: int = 0
+        self.writebacks: int = 0
+        self.fills: int = 0
+        self.port_busy_cycles: int = 0
+
+    # ------------------------------------------------------------------
+    # component protocol
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        # Fast path: nothing in flight anywhere in the slice.
+        if (
+            self.access_queue.empty
+            and not self._pending_responses
+            and (self.dram is None or self.dram.return_queue.empty)
+            and all(b.output is None and b.pipe.empty for b in self.banks)
+        ):
+            return
+        for bank in self.banks:
+            bank.accepted_this_cycle = False
+        self._process_fills(now)
+        self._emit_pending_responses(now)
+        self._step_bank_outputs(now)
+        self._step_bank_inputs(now)
+
+    # ------------------------------------------------------------------
+    # fills from DRAM
+    # ------------------------------------------------------------------
+    def _process_fills(self, now: int) -> None:
+        """Install at most one returning DRAM line per cycle."""
+        if self.dram is None:
+            return
+        return_queue = self.dram.return_queue
+        if return_queue.empty:
+            return
+        if len(self._pending_responses) >= self._pending_cap:
+            return  # back-pressure towards DRAM
+        response = return_queue.pop(now)
+        line = response.line
+        local = self._mapper.local_line(line)
+        entry = self.mshr.release(line, now)
+        self.tags.fill(local, now, dirty=entry.has_store)
+        self.fills += 1
+        response.stamp("l2_fill", now)
+        for original in entry.requests:
+            if original.kind is AccessKind.LOAD:
+                original.is_response = True
+                original.stamp("l2_fill", now)
+                self._pending_responses.append(original)
+            else:
+                self.store_completions += 1
+
+    def _emit_pending_responses(self, now: int) -> None:
+        """Push fill responses through the data port into the response queue."""
+        while (
+            self._pending_responses
+            and now >= self._port_free_at
+            and self.response_queue.can_push()
+        ):
+            response = self._pending_responses.pop(0)
+            response.stamp("l2_out", now)
+            self.response_queue.push(response, now)
+            self._port_free_at = now + self._port_cycles
+            self.port_busy_cycles += self._port_cycles
+
+    # ------------------------------------------------------------------
+    # bank pipeline
+    # ------------------------------------------------------------------
+    def _step_bank_outputs(self, now: int) -> None:
+        for bank in self.banks:
+            if bank.output is None and bank.pipe.ready(now):
+                bank.output = bank.pipe.pop()
+            if bank.output is not None:
+                if self._resolve(bank.output, now):
+                    bank.output = None
+                else:
+                    bank.blocked_cycles += 1
+
+    def _resolve(self, request: MemoryRequest, now: int) -> bool:
+        """Try to retire one bank output; False => retry next cycle."""
+        local = self._mapper.local_line(request.line)
+        hit = self.tags.lookup(local, now, count=False)
+        if "l2_probed" not in request.timestamps:
+            # Count the access outcome once, not once per blocked retry.
+            request.stamp("l2_probed", now)
+            if hit:
+                self.tags.lookups.hit()
+            else:
+                self.tags.lookups.miss()
+        if hit:
+            if request.kind is AccessKind.STORE:
+                self.tags.mark_dirty(local)
+                self.store_hits += 1
+                self.store_completions += 1
+                request.stamp("l2_hit", now)
+                return True
+            # Load hit: needs the data port and a response-queue slot.
+            if now < self._port_free_at or not self.response_queue.can_push():
+                return False
+            request.is_response = True
+            request.stamp("l2_hit", now)
+            request.stamp("l2_out", now)
+            self.response_queue.push(request, now)
+            self._port_free_at = now + self._port_cycles
+            self.port_busy_cycles += self._port_cycles
+            return True
+        # Miss path.
+        probe = self.mshr.probe(request.line)
+        if probe is MSHRProbe.MERGEABLE:
+            self.mshr.merge(request, now)
+            request.l2_miss = True
+            request.stamp("l2_miss", now)
+            return True
+        if probe is MSHRProbe.ENTRY_FULL:
+            return False
+        if self.mshr.full:
+            return False
+        # Reserving may evict a dirty line needing a writeback slot, so
+        # demand two free miss-queue slots before committing.
+        if self.miss_queue.capacity - len(self.miss_queue) < 2:
+            return False
+        evicted = self.tags.reserve(local, now)
+        if evicted is False:
+            return False  # reservation failure: every way pending a fill
+        self.mshr.allocate(request, now)
+        request.l2_miss = True
+        request.stamp("l2_miss", now)
+        if evicted is not None and evicted.dirty:
+            self._emit_writeback(evicted.line, request, now)
+        self.miss_queue.push(request, now)
+        return True
+
+    def _emit_writeback(
+        self, local_line: int, cause: MemoryRequest, now: int
+    ) -> None:
+        """Queue a writeback of an evicted dirty local line to DRAM."""
+        global_line = (local_line << (self._mapper.n_partitions - 1).bit_length()) | self.partition_id
+        writeback = MemoryRequest(
+            rid=-cause.rid - 1,  # negative ids mark internally generated traffic
+            kind=AccessKind.WRITEBACK,
+            line=global_line,
+            sm_id=-1,
+            warp_id=-1,
+            issued_at=now,
+        )
+        writeback.stamp("l2_writeback", now)
+        self.writebacks += 1
+        self.miss_queue.push(writeback, now)
+
+    def _step_bank_inputs(self, now: int) -> None:
+        accepted = 0
+        while accepted < len(self.banks) and not self.access_queue.empty:
+            head = self.access_queue.peek()
+            bank = self.banks[self._mapper.l2_bank(head.line)]
+            if not bank.can_accept():
+                break  # head-of-line blocking on a busy bank
+            request = self.access_queue.pop(now)
+            request.stamp("l2_in", now)
+            bank.pipe.insert(request, now)
+            bank.accepted_this_cycle = True
+            accepted += 1
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def is_idle(self) -> bool:
+        return (
+            self.access_queue.empty
+            and self.miss_queue.empty
+            and self.response_queue.empty
+            and not self._pending_responses
+            and len(self.mshr) == 0
+            and all(b.output is None and b.pipe.empty for b in self.banks)
+        )
+
+    def finalize(self, now: int) -> None:
+        self.access_queue.finalize(now)
+        self.miss_queue.finalize(now)
+        self.response_queue.finalize(now)
+        self.mshr.finalize(now)

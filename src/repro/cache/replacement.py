@@ -1,0 +1,134 @@
+"""Cache replacement policies.
+
+Policies rank the ways of one set.  The tag array asks the policy for a
+victim among the evictable ways, and notifies it on access and fill so it
+can maintain recency/insertion state.  LRU is the GPGPU-Sim / paper
+baseline; FIFO and tree-PLRU are provided for ablations.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+
+
+class ReplacementPolicy:
+    """Per-set ranking of ways (one policy instance per tag array)."""
+
+    name = "base"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        self.n_sets = n_sets
+        self.assoc = assoc
+
+    def on_access(self, set_idx: int, way: int, now: int) -> None:
+        """Called on every hit to ``way``."""
+
+    def on_fill(self, set_idx: int, way: int, now: int) -> None:
+        """Called when a line is installed into ``way``."""
+
+    def victim(self, set_idx: int, candidates: list[int]) -> int:
+        """Pick a victim among ``candidates`` (non-empty list of way ids)."""
+        raise NotImplementedError
+
+
+class LRUPolicy(ReplacementPolicy):
+    """Least-recently-used, tracked with access timestamps."""
+
+    name = "lru"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        super().__init__(n_sets, assoc)
+        self._last_use = [[-1] * assoc for _ in range(n_sets)]
+
+    def on_access(self, set_idx: int, way: int, now: int) -> None:
+        self._last_use[set_idx][way] = now
+
+    def on_fill(self, set_idx: int, way: int, now: int) -> None:
+        self._last_use[set_idx][way] = now
+
+    def victim(self, set_idx: int, candidates: list[int]) -> int:
+        stamps = self._last_use[set_idx]
+        return min(candidates, key=lambda w: stamps[w])
+
+
+class FIFOPolicy(ReplacementPolicy):
+    """First-in first-out: evicts the oldest *installed* line."""
+
+    name = "fifo"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        super().__init__(n_sets, assoc)
+        self._installed = [[-1] * assoc for _ in range(n_sets)]
+
+    def on_fill(self, set_idx: int, way: int, now: int) -> None:
+        self._installed[set_idx][way] = now
+
+    def victim(self, set_idx: int, candidates: list[int]) -> int:
+        stamps = self._installed[set_idx]
+        return min(candidates, key=lambda w: stamps[w])
+
+
+class PLRUPolicy(ReplacementPolicy):
+    """Tree-based pseudo-LRU (requires power-of-two associativity)."""
+
+    name = "plru"
+
+    def __init__(self, n_sets: int, assoc: int) -> None:
+        super().__init__(n_sets, assoc)
+        if assoc & (assoc - 1):
+            raise ConfigError("PLRU requires power-of-two associativity")
+        #: One bit per internal tree node, assoc-1 nodes per set.
+        self._bits = [[0] * max(1, assoc - 1) for _ in range(n_sets)]
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        bits = self._bits[set_idx]
+        node = 0
+        span = self.assoc
+        while span > 1:
+            half = span // 2
+            go_right = way % span >= half
+            bits[node] = 0 if go_right else 1  # bit points away from way
+            node = 2 * node + (2 if go_right else 1)
+            span = half
+
+    def on_access(self, set_idx: int, way: int, now: int) -> None:
+        self._touch(set_idx, way)
+
+    def on_fill(self, set_idx: int, way: int, now: int) -> None:
+        self._touch(set_idx, way)
+
+    def victim(self, set_idx: int, candidates: list[int]) -> int:
+        if len(candidates) == 1:
+            return candidates[0]
+        bits = self._bits[set_idx]
+        node = 0
+        base = 0
+        span = self.assoc
+        while span > 1:
+            half = span // 2
+            go_right = bits[node] == 1
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                base += half
+            span = half
+        if base in candidates:
+            return base
+        # The PLRU leaf is not evictable (e.g. reserved); fall back to the
+        # first evictable way to preserve forward progress.
+        return candidates[0]
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "plru": PLRUPolicy,
+}
+
+
+def make_policy(name: str, n_sets: int, assoc: int) -> ReplacementPolicy:
+    """Instantiate a replacement policy by name ("lru", "fifo", "plru")."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ConfigError(f"unknown replacement policy {name!r}") from None
+    return cls(n_sets, assoc)

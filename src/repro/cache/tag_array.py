@@ -1,0 +1,211 @@
+"""Set-associative tag array with line reservation.
+
+The tag array tracks line *state* only (tags, valid/reserved/dirty); data
+movement is modelled by the latencies of the surrounding controllers.
+
+Reservation implements GPGPU-Sim's miss handling: on a miss the controller
+reserves a victim way for the future fill.  While reserved, the way cannot
+be evicted — if every candidate way of a set is reserved, the controller
+suffers a *reservation failure* and must retry, which is one of the
+resource-contention effects the paper calls out ("prolonged contention of
+cache resources such as MSHRs and replaceable cache lines").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, SimulationError
+from repro.cache.replacement import make_policy
+from repro.utils.stats import RatioStat
+
+
+class LineState(enum.Enum):
+    INVALID = 0
+    VALID = 1
+    #: Way held for an outstanding fill; not evictable.
+    RESERVED = 2
+
+
+@dataclass(slots=True)
+class _Way:
+    tag: int = -1
+    state: LineState = LineState.INVALID
+    dirty: bool = False
+
+
+@dataclass(frozen=True)
+class Eviction:
+    """Description of a line displaced by a reserve/fill."""
+
+    line: int
+    dirty: bool
+
+
+class TagArray:
+    """Tags + state for one cache; indexed by line index."""
+
+    def __init__(
+        self,
+        name: str,
+        n_sets: int,
+        assoc: int,
+        policy: str = "lru",
+    ) -> None:
+        if n_sets < 1 or n_sets & (n_sets - 1):
+            raise ConfigError(f"{name}: n_sets must be a power of two, got {n_sets}")
+        if assoc < 1:
+            raise ConfigError(f"{name}: assoc must be >= 1")
+        self.name = name
+        self.n_sets = n_sets
+        self.assoc = assoc
+        self._sets = [[_Way() for _ in range(assoc)] for _ in range(n_sets)]
+        self._policy = make_policy(policy, n_sets, assoc)
+        self.lookups = RatioStat(f"{name}.hit_rate")
+        #: Reservation failures (all candidate ways of a set reserved).
+        self.reservation_fails: int = 0
+
+    # ------------------------------------------------------------------
+    # indexing helpers
+    # ------------------------------------------------------------------
+    def set_index(self, line: int) -> int:
+        return line & (self.n_sets - 1)
+
+    def _find(self, line: int) -> tuple[int, int | None]:
+        set_idx = self.set_index(line)
+        for way_idx, way in enumerate(self._sets[set_idx]):
+            if way.tag == line and way.state is not LineState.INVALID:
+                return set_idx, way_idx
+        return set_idx, None
+
+    # ------------------------------------------------------------------
+    # operations
+    # ------------------------------------------------------------------
+    def lookup(self, line: int, now: int, *, count: bool = True) -> bool:
+        """Probe for ``line``; True only for a VALID line (hit).
+
+        A RESERVED match is *not* a hit (the data has not arrived), but the
+        caller can detect it via :meth:`state_of` to merge into an MSHR.
+        Updates replacement state and the hit-rate statistic on hits.
+        """
+        set_idx, way_idx = self._find(line)
+        hit = way_idx is not None and (
+            self._sets[set_idx][way_idx].state is LineState.VALID
+        )
+        if count:
+            if hit:
+                self.lookups.hit()
+            else:
+                self.lookups.miss()
+        if hit:
+            self._policy.on_access(set_idx, way_idx, now)
+        return hit
+
+    def state_of(self, line: int) -> LineState:
+        """Current state of ``line`` (INVALID if not present)."""
+        set_idx, way_idx = self._find(line)
+        if way_idx is None:
+            return LineState.INVALID
+        return self._sets[set_idx][way_idx].state
+
+    def mark_dirty(self, line: int) -> None:
+        """Mark a VALID line dirty (write hit)."""
+        set_idx, way_idx = self._find(line)
+        if way_idx is None or self._sets[set_idx][way_idx].state is not LineState.VALID:
+            raise SimulationError(f"{self.name}: mark_dirty on absent line {line:#x}")
+        self._sets[set_idx][way_idx].dirty = True
+
+    def reserve(self, line: int, now: int) -> Eviction | None | bool:
+        """Reserve a way for a future fill of ``line``.
+
+        Returns ``False`` on reservation failure (every way reserved),
+        otherwise the :class:`Eviction` displaced (or None).  The victim is
+        chosen by the replacement policy among non-reserved ways, preferring
+        invalid ways.
+        """
+        set_idx = self.set_index(line)
+        ways = self._sets[set_idx]
+        victim_idx = None
+        for way_idx, way in enumerate(ways):
+            if way.state is LineState.INVALID:
+                victim_idx = way_idx
+                break
+        evicted = None
+        if victim_idx is None:
+            candidates = [
+                i for i, way in enumerate(ways) if way.state is LineState.VALID
+            ]
+            if not candidates:
+                self.reservation_fails += 1
+                return False
+            victim_idx = self._policy.victim(set_idx, candidates)
+            victim = ways[victim_idx]
+            evicted = Eviction(line=victim.tag, dirty=victim.dirty)
+        way = ways[victim_idx]
+        way.tag = line
+        way.state = LineState.RESERVED
+        way.dirty = False
+        return evicted
+
+    def fill(self, line: int, now: int, *, dirty: bool = False) -> Eviction | None:
+        """Install ``line`` as VALID.
+
+        Uses the previously reserved way when one exists; otherwise
+        allocates a victim directly (the L1 path, which does not reserve).
+        Returns any displaced line.
+        """
+        set_idx, way_idx = self._find(line)
+        evicted: Eviction | None = None
+        if way_idx is None:
+            result = self.reserve(line, now)
+            if result is False:
+                raise SimulationError(
+                    f"{self.name}: fill of {line:#x} found no allocatable way"
+                )
+            evicted = result  # type: ignore[assignment]
+            set_idx, way_idx = self._find(line)
+            assert way_idx is not None
+        way = self._sets[set_idx][way_idx]
+        way.state = LineState.VALID
+        way.dirty = dirty
+        self._policy.on_fill(set_idx, way_idx, now)
+        return evicted
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if present and VALID; True when something dropped."""
+        set_idx, way_idx = self._find(line)
+        if way_idx is None:
+            return False
+        way = self._sets[set_idx][way_idx]
+        if way.state is not LineState.VALID:
+            return False
+        way.state = LineState.INVALID
+        way.tag = -1
+        way.dirty = False
+        return True
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def hit_rate(self) -> float:
+        return self.lookups.ratio
+
+    def occupancy(self) -> int:
+        """Number of VALID lines currently held."""
+        return sum(
+            1
+            for ways in self._sets
+            for way in ways
+            if way.state is LineState.VALID
+        )
+
+    def reserved_count(self) -> int:
+        """Number of RESERVED ways (outstanding fills)."""
+        return sum(
+            1
+            for ways in self._sets
+            for way in ways
+            if way.state is LineState.RESERVED
+        )

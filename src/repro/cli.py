@@ -1,0 +1,278 @@
+"""Command-line interface.
+
+Every experiment in the paper can be regenerated from the shell::
+
+    repro suite                     # list the benchmark models
+    repro table1                    # print Table I
+    repro run lbm                   # run one benchmark, print its metrics
+    repro congestion                # Section III queue-occupancy study
+    repro latency-profile           # Figure 1
+    repro explore                   # Section IV design-space exploration
+    repro diagnose                  # classify each benchmark's bottleneck
+    repro breakdown lbm             # per-hop latency breakdown of one kernel
+    repro replicate sc              # seed-sensitivity of one benchmark
+    repro export out.csv            # dump suite metrics as CSV
+    repro validate                  # evaluate every claim of the paper
+
+All experiment commands accept ``--scale`` (iteration scale, default 1.0;
+smaller is faster), ``--config`` (small / fermi / tiny) and ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.bottleneck import diagnose_suite, render_diagnoses
+from repro.core.congestion import measure_congestion
+from repro.core.latency_breakdown import (
+    congestion_share,
+    measure_latency_breakdown,
+)
+from repro.core.design_space import render_table_i
+from repro.core.explorer import explore_design_space
+from repro.core.latency_profile import profile_latency_tolerance
+from repro.core.metrics import run_kernel
+from repro.core.replication import replicate
+from repro.core.validation import validate_reproduction
+from repro.utils.export import metrics_to_csv, write_text
+from repro.core.report import render_congestion, render_figure1, render_section_iv
+from repro.core.synergy import analyze_synergy
+from repro.sim.config import GPUConfig, fermi_gtx480, small_gpu, tiny_gpu
+from repro.utils.tables import render_table
+from repro.workloads.suite import PAPER_SUITE, SPECS, get_benchmark
+
+_CONFIGS = {
+    "small": small_gpu,
+    "fermi": fermi_gtx480,
+    "tiny": tiny_gpu,
+}
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--config", choices=sorted(_CONFIGS), default="small",
+        help="architecture configuration (default: small)")
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="benchmark iteration scale; < 1 runs faster (default: 1.0)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument(
+        "--benchmarks", nargs="*", default=list(PAPER_SUITE),
+        metavar="NAME", help="subset of the suite to run")
+
+
+def _config(args: argparse.Namespace) -> GPUConfig:
+    return _CONFIGS[args.config]()
+
+
+def _cmd_suite(_args: argparse.Namespace) -> int:
+    rows = [
+        [name, spec.pattern, spec.iterations,
+         spec.loads_per_iter * spec.txns_per_load, spec.compute_per_iter,
+         spec.description[:58]]
+        for name, spec in SPECS.items()
+    ]
+    print(render_table(
+        ["benchmark", "pattern", "iters", "txns/iter", "compute/iter",
+         "description"],
+        rows, title="Synthetic models of the paper's benchmark suite",
+        align="llrrrl"))
+    return 0
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(render_table_i())
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = _config(args)
+    if args.magic_latency is not None:
+        config = config.with_magic_memory(args.magic_latency)
+    metrics = run_kernel(
+        config, get_benchmark(args.benchmark, args.scale), seed=args.seed)
+    rows = [
+        ["cycles", metrics.cycles],
+        ["instructions", metrics.instructions],
+        ["IPC", f"{metrics.ipc:.3f}"],
+        ["L1 hit rate", f"{metrics.l1_hit_rate:.1%}"],
+        ["L2 hit rate", f"{metrics.l2_hit_rate:.1%}"],
+        ["avg L1 miss latency", f"{metrics.l1_avg_miss_latency:.0f} cy"],
+        ["L1 missQ full (of busy)", f"{metrics.l1_missq.full_fraction:.1%}"],
+        ["L2 accessQ full (of busy)", f"{metrics.l2_accessq.full_fraction:.1%}"],
+        ["L2 respQ full (of busy)", f"{metrics.l2_respq.full_fraction:.1%}"],
+        ["DRAM schedQ full (of busy)", f"{metrics.dram_schedq.full_fraction:.1%}"],
+        ["DRAM row-hit rate", f"{metrics.dram_row_hit_rate:.1%}"],
+        ["DRAM bus utilization", f"{metrics.dram_bus_utilization:.1%}"],
+        ["DRAM reads / writes", f"{metrics.dram_reads} / {metrics.dram_writes}"],
+    ]
+    print(render_table(
+        ["metric", "value"], rows,
+        title=f"{args.benchmark} on {args.config} (scale {args.scale})"))
+    return 0
+
+
+def _cmd_congestion(args: argparse.Namespace) -> int:
+    report = measure_congestion(
+        _config(args), benchmarks=args.benchmarks,
+        iteration_scale=args.scale, seed=args.seed)
+    print(render_congestion(report))
+    return 0
+
+
+def _cmd_latency_profile(args: argparse.Namespace) -> int:
+    config = _config(args)
+    latencies = args.latencies or list(range(0, 801, args.step))
+    profiles = [
+        profile_latency_tolerance(
+            name, config, latencies=latencies,
+            iteration_scale=args.scale, seed=args.seed)
+        for name in args.benchmarks
+    ]
+    print(render_figure1(profiles))
+    return 0
+
+
+def _cmd_explore(args: argparse.Namespace) -> int:
+    result = explore_design_space(
+        _config(args), benchmarks=args.benchmarks,
+        iteration_scale=args.scale, seed=args.seed)
+    print(render_section_iv(result, analyze_synergy(result)))
+    degraded = result.degraded_benchmarks("l1")
+    if degraded:
+        print(f"\nIsolated L1 scaling degraded: {', '.join(degraded)} "
+              "(the paper's counter-productive case)")
+    return 0
+
+
+def _cmd_diagnose(args: argparse.Namespace) -> int:
+    diagnoses = diagnose_suite(
+        _config(args), benchmarks=args.benchmarks,
+        iteration_scale=args.scale, seed=args.seed)
+    print(render_diagnoses(diagnoses))
+    return 0
+
+
+def _cmd_breakdown(args: argparse.Namespace) -> int:
+    config = _config(args)
+    breakdown = measure_latency_breakdown(
+        config, args.benchmark, iteration_scale=args.scale, seed=args.seed)
+    print(breakdown.to_table())
+    share = congestion_share(breakdown, config)
+    print(
+        f"\ncongestion share of the L2-miss round trip: {share:.0%} "
+        "(latency beyond the unloaded path)"
+    )
+    return 0
+
+
+def _cmd_replicate(args: argparse.Namespace) -> int:
+    report = replicate(
+        _config(args), args.benchmark, seeds=tuple(args.seeds),
+        iteration_scale=args.scale)
+    print(report.to_table())
+    print(f"\nworst coefficient of variation: {report.worst_cv():.1%}")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    config = _config(args)
+    runs = [
+        run_kernel(config, get_benchmark(name, args.scale), seed=args.seed)
+        for name in args.benchmarks
+    ]
+    path = write_text(args.output, metrics_to_csv(runs))
+    print(f"wrote {len(runs)} runs to {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    report = validate_reproduction(
+        _config(args), iteration_scale=args.scale, seed=args.seed)
+    print(report.to_table())
+    return 0 if report.passed else 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Characterizing Memory Bottlenecks in "
+                    "GPGPU Workloads' (IISWC 2016)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("suite", help="list the benchmark models").set_defaults(
+        func=_cmd_suite)
+    sub.add_parser("table1", help="print Table I").set_defaults(
+        func=_cmd_table1)
+
+    run = sub.add_parser("run", help="run one benchmark and print metrics")
+    run.add_argument("benchmark", choices=sorted(SPECS))
+    run.add_argument(
+        "--magic-latency", type=int, default=None,
+        help="use the fixed-latency magic memory below L1 (Figure 1 mode)")
+    _add_common(run)
+    run.set_defaults(func=_cmd_run)
+
+    cong = sub.add_parser(
+        "congestion", help="Section III: queue-occupancy measurement")
+    _add_common(cong)
+    cong.set_defaults(func=_cmd_congestion)
+
+    prof = sub.add_parser(
+        "latency-profile", help="Figure 1: latency tolerance profile")
+    prof.add_argument(
+        "--latencies", nargs="*", type=int, default=None,
+        help="explicit latency points (default 0..800)")
+    prof.add_argument(
+        "--step", type=int, default=100,
+        help="latency grid step when --latencies not given (default 100)")
+    _add_common(prof)
+    prof.set_defaults(func=_cmd_latency_profile)
+
+    explore = sub.add_parser(
+        "explore", help="Section IV: design-space exploration")
+    _add_common(explore)
+    explore.set_defaults(func=_cmd_explore)
+
+    diagnose = sub.add_parser(
+        "diagnose", help="classify each benchmark's dominant bottleneck")
+    _add_common(diagnose)
+    diagnose.set_defaults(func=_cmd_diagnose)
+
+    breakdown = sub.add_parser(
+        "breakdown", help="per-hop latency breakdown of one benchmark")
+    breakdown.add_argument("benchmark", choices=sorted(SPECS))
+    _add_common(breakdown)
+    breakdown.set_defaults(func=_cmd_breakdown)
+
+    repl = sub.add_parser(
+        "replicate", help="seed-sensitivity of one benchmark's metrics")
+    repl.add_argument("benchmark", choices=sorted(SPECS))
+    repl.add_argument(
+        "--seeds", nargs="*", type=int, default=[1, 2, 3, 4, 5])
+    _add_common(repl)
+    repl.set_defaults(func=_cmd_replicate)
+
+    export = sub.add_parser(
+        "export", help="run the suite and export metrics as CSV")
+    export.add_argument("output", help="CSV output path")
+    _add_common(export)
+    export.set_defaults(func=_cmd_export)
+
+    validate = sub.add_parser(
+        "validate",
+        help="run the full battery and evaluate every claim of the paper")
+    _add_common(validate)
+    validate.set_defaults(func=_cmd_validate)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,161 @@
+"""Cost-effectiveness analysis of the design space (the paper's future work).
+
+The paper closes: "In future, we plan to assess the complexity and cost of
+the various design configurations in order to evaluate most cost-effective
+ways to mitigate the bandwidth bottleneck."  This module implements that
+assessment over the same Table I design space.
+
+Cost model
+----------
+Each Table I parameter gets a *relative area/complexity cost* for its ~4x
+scaling, in arbitrary units normalized so the full Table I scaling costs
+1.0.  The weights follow standard VLSI intuition rather than a specific
+technology: storage structures (queues, MSHRs) cost in proportion to the
+entries x width added; wiring-dominated structures (buses, ports, flits,
+crossbar datapath) cost super-linearly in width; DRAM banks are nearly
+free on-die (the dies already contain the arrays) but cost in the
+controller/IO.  The weights are data, not code — pass a custom
+``Mapping`` to study a different technology assumption.
+
+Analyses
+--------
+* :func:`configuration_cost` — cost of a set of scaled levels;
+* :func:`cost_effectiveness` — gain per unit cost for each Section IV
+  configuration, from an :class:`ExplorationResult`;
+* :func:`pareto_frontier` — the (cost, gain) points not dominated by any
+  other configuration.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import dataclass
+
+from repro.core.design_space import TABLE_I, parameters_for_level
+from repro.core.explorer import ExplorationResult
+from repro.errors import ConfigError
+from repro.utils.tables import render_table
+
+#: Relative cost of each Table I row's ~4x scaling (arbitrary units).
+DEFAULT_COSTS: Mapping[str, float] = {
+    # (a) DRAM
+    "dram_sched_queue": 0.02,   # CAM-ish queue, modest width
+    "dram_banks": 0.05,         # controller state machines + IO scheduling
+    "dram_bus_width": 0.22,     # pins/PHY: the expensive off-chip resource
+    # (b) L2
+    "l2_miss_queue": 0.02,
+    "l2_response_queue": 0.02,
+    "l2_mshr": 0.06,            # wide CAM entries x4
+    "l2_access_queue": 0.02,
+    "l2_data_port": 0.12,       # SRAM port widening
+    "flit_size": 0.18,          # crossbar datapath width x4
+    "l2_banks": 0.12,           # bank replication incl. tag logic
+    # (c) L1 (replicated per SM -> weights already account for it)
+    "l1_miss_queue": 0.03,
+    "l1_mshr": 0.08,
+    "mem_pipeline_width": 0.06,
+}
+
+
+def _validate_costs(costs: Mapping[str, float]) -> None:
+    known = {p.key for p in TABLE_I}
+    missing = known - set(costs)
+    if missing:
+        raise ConfigError(f"cost model missing parameters: {sorted(missing)}")
+    bad = [k for k, v in costs.items() if v < 0]
+    if bad:
+        raise ConfigError(f"negative costs for: {bad}")
+
+
+def level_cost(
+    level: str, costs: Mapping[str, float] = DEFAULT_COSTS
+) -> float:
+    """Total cost of scaling one Table I level."""
+    _validate_costs(costs)
+    return sum(costs[p.key] for p in parameters_for_level(level))
+
+
+def configuration_cost(
+    levels: Sequence[str], costs: Mapping[str, float] = DEFAULT_COSTS
+) -> float:
+    """Cost of scaling several levels together (costs are additive)."""
+    return sum(level_cost(level, costs) for level in levels)
+
+
+@dataclass(frozen=True)
+class CostEffectiveness:
+    """One configuration's gain, cost and efficiency."""
+
+    label: str
+    levels: tuple[str, ...]
+    gain: float
+    cost: float
+
+    @property
+    def efficiency(self) -> float:
+        """Average gain per unit cost (inf for free configurations)."""
+        if self.cost == 0.0:
+            return float("inf") if self.gain > 0 else 0.0
+        return self.gain / self.cost
+
+
+def cost_effectiveness(
+    result: ExplorationResult,
+    configs: Mapping[str, tuple[str, ...]],
+    costs: Mapping[str, float] = DEFAULT_COSTS,
+) -> list[CostEffectiveness]:
+    """Gain-per-cost for each non-baseline configuration in ``result``."""
+    out = []
+    for label, levels in configs.items():
+        if label == "baseline" or label not in result.runs:
+            continue
+        out.append(
+            CostEffectiveness(
+                label=label,
+                levels=tuple(levels),
+                gain=result.average_gain(label),
+                cost=configuration_cost(levels, costs),
+            )
+        )
+    return sorted(out, key=lambda ce: ce.efficiency, reverse=True)
+
+
+def pareto_frontier(
+    points: Sequence[CostEffectiveness],
+) -> list[CostEffectiveness]:
+    """Configurations not dominated in (lower cost, higher gain)."""
+    frontier = []
+    for p in points:
+        dominated = any(
+            (q.cost <= p.cost and q.gain > p.gain)
+            or (q.cost < p.cost and q.gain >= p.gain)
+            for q in points
+        )
+        if not dominated:
+            frontier.append(p)
+    return sorted(frontier, key=lambda ce: ce.cost)
+
+
+def render_cost_effectiveness(
+    points: Sequence[CostEffectiveness],
+    frontier: Sequence[CostEffectiveness] | None = None,
+) -> str:
+    on_frontier = {p.label for p in frontier} if frontier else set()
+    rows = [
+        [
+            p.label,
+            "+".join(p.levels),
+            f"{p.gain:+.0%}",
+            f"{p.cost:.2f}",
+            f"{p.efficiency:.2f}",
+            "yes" if p.label in on_frontier else "",
+        ]
+        for p in points
+    ]
+    return render_table(
+        ["config", "levels", "avg gain", "relative cost", "gain/cost",
+         "pareto"],
+        rows,
+        title="Cost-effectiveness of the Table I design space "
+              "(paper's future work)",
+    )

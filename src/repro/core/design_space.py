@@ -1,0 +1,187 @@
+"""Table I: the consolidated design space to mitigate congestion.
+
+Every row of the paper's Table I is a :class:`DesignParameter` carrying its
+level — (a) DRAM, (b) L2 cache, (c) L1 cache — its type ('+' parameters
+raise the peak throughput of the level, '=' parameters let the level reach
+its existing peak), its baseline value and its ~4x scaled value, plus the
+function that applies the scaling to a :class:`GPUConfig`.
+
+The Section IV experiments scale whole levels at a time
+(:func:`scale_level`) or combinations (:func:`scale_levels`); individual
+parameters can be scaled for ablations (:func:`scaled_config`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, replace
+
+from repro.errors import ConfigError
+from repro.sim.config import GPUConfig
+from repro.utils.tables import render_table
+
+Apply = Callable[[GPUConfig, int | float], GPUConfig]
+
+
+def _dram(config: GPUConfig, **kw) -> GPUConfig:
+    return replace(config, dram=replace(config.dram, **kw))
+
+
+def _l2(config: GPUConfig, **kw) -> GPUConfig:
+    return replace(config, l2=replace(config.l2, **kw))
+
+
+def _l1(config: GPUConfig, **kw) -> GPUConfig:
+    return replace(config, l1=replace(config.l1, **kw))
+
+
+def _icnt(config: GPUConfig, **kw) -> GPUConfig:
+    return replace(config, icnt=replace(config.icnt, **kw))
+
+
+def _core(config: GPUConfig, **kw) -> GPUConfig:
+    return replace(config, core=replace(config.core, **kw))
+
+
+@dataclass(frozen=True)
+class DesignParameter:
+    """One row of Table I."""
+
+    key: str
+    #: Human-readable name as printed in the paper.
+    label: str
+    #: "dram", "l2" or "l1" — the level whose bandwidth it affects.
+    level: str
+    #: '+' increases peak throughput; '=' enables reaching existing peak.
+    kind: str
+    baseline: int
+    scaled: int
+    unit: str
+    _apply: Apply
+
+    def apply(self, config: GPUConfig, value: int | None = None) -> GPUConfig:
+        """Return ``config`` with this parameter set to ``value``
+        (defaults to the Table I scaled value)."""
+        return self._apply(config, self.scaled if value is None else value)
+
+
+#: Table I, row for row.  Scaled values are the paper's (~4x; bus width is
+#: the paper's stated exception at 2x).
+TABLE_I: tuple[DesignParameter, ...] = (
+    # (a) DRAM
+    DesignParameter(
+        "dram_sched_queue", "Scheduler queue", "dram", "=", 16, 64, "entries",
+        lambda c, v: _dram(c, sched_queue_depth=int(v)),
+    ),
+    DesignParameter(
+        "dram_banks", "DRAM Banks", "dram", "=", 16, 64, "banks/chip",
+        lambda c, v: _dram(c, banks=int(v)),
+    ),
+    DesignParameter(
+        "dram_bus_width", "Bus width", "dram", "+", 4, 8, "bytes/chip",
+        lambda c, v: _dram(c, bus_bytes=int(v)),
+    ),
+    # (b) L2 cache
+    DesignParameter(
+        "l2_miss_queue", "L2 miss queue", "l2", "=", 8, 32, "entries",
+        lambda c, v: _l2(c, miss_queue_depth=int(v)),
+    ),
+    DesignParameter(
+        "l2_response_queue", "L2 response queue", "l2", "=", 8, 32, "entries",
+        lambda c, v: _l2(c, response_queue_depth=int(v)),
+    ),
+    DesignParameter(
+        "l2_mshr", "MSHR (L2)", "l2", "=", 32, 128, "entries",
+        lambda c, v: _l2(c, mshr_entries=int(v)),
+    ),
+    DesignParameter(
+        "l2_access_queue", "L2 access queue", "l2", "=", 8, 32, "entries",
+        lambda c, v: _l2(c, access_queue_depth=int(v)),
+    ),
+    DesignParameter(
+        "l2_data_port", "L2 data port", "l2", "+", 32, 128, "bytes",
+        lambda c, v: _l2(c, data_port_bytes=int(v)),
+    ),
+    DesignParameter(
+        "flit_size", "Flit size (crossbar)", "l2", "+", 4, 16, "bytes",
+        lambda c, v: _icnt(c, flit_bytes=int(v)),
+    ),
+    DesignParameter(
+        "l2_banks", "L2 banks", "l2", "+", 2, 8, "banks/partition",
+        lambda c, v: _l2(c, banks=int(v)),
+    ),
+    # (c) L1 cache
+    DesignParameter(
+        "l1_miss_queue", "L1 miss queue", "l1", "=", 8, 32, "entries",
+        lambda c, v: _l1(c, miss_queue_depth=int(v)),
+    ),
+    DesignParameter(
+        "l1_mshr", "MSHR (L1D)", "l1", "=", 32, 128, "entries",
+        lambda c, v: _l1(c, mshr_entries=int(v)),
+    ),
+    DesignParameter(
+        "mem_pipeline_width", "Memory pipeline width", "l1", "=", 10, 40, "",
+        lambda c, v: _core(c, mem_pipeline_width=int(v)),
+    ),
+)
+
+LEVELS: tuple[str, ...] = ("dram", "l2", "l1")
+
+_BY_KEY = {p.key: p for p in TABLE_I}
+
+
+def get_parameter(key: str) -> DesignParameter:
+    """Look up a Table I parameter by key."""
+    try:
+        return _BY_KEY[key]
+    except KeyError:
+        raise ConfigError(
+            f"unknown design parameter {key!r}; choose from {sorted(_BY_KEY)}"
+        ) from None
+
+
+def parameters_for_level(level: str) -> list[DesignParameter]:
+    """All Table I rows belonging to one memory level."""
+    if level not in LEVELS:
+        raise ConfigError(f"unknown level {level!r}; choose from {LEVELS}")
+    return [p for p in TABLE_I if p.level == level]
+
+
+def scale_level(config: GPUConfig, level: str) -> GPUConfig:
+    """Apply every Table I scaling belonging to ``level``."""
+    for parameter in parameters_for_level(level):
+        config = parameter.apply(config)
+    return config
+
+
+def scale_levels(config: GPUConfig, levels: Iterable[str]) -> GPUConfig:
+    """Apply the Table I scalings of several levels (e.g. L1+L2)."""
+    for level in levels:
+        config = scale_level(config, level)
+    return config
+
+
+def scaled_config(
+    config: GPUConfig, key: str, value: int | None = None
+) -> GPUConfig:
+    """Scale a single Table I parameter (ablation helper)."""
+    return get_parameter(key).apply(config, value)
+
+
+def render_table_i() -> str:
+    """Render Table I as the paper prints it."""
+    section_names = {"dram": "(a) DRAM", "l2": "(b) L2 Cache", "l1": "(c) L1 Cache"}
+    rows = []
+    for level in LEVELS:
+        rows.append([section_names[level], "", "", ""])
+        for p in parameters_for_level(level):
+            unit = f" {p.unit}" if p.unit else ""
+            rows.append(
+                [f"  {p.label}", p.kind, f"{p.baseline}{unit}", f"{p.scaled}{unit}"]
+            )
+    return render_table(
+        ["Design Parameter", "Type", "Baseline value", "Scaled value (~4x)"],
+        rows,
+        title="TABLE I: CONSOLIDATED DESIGN SPACE TO MITIGATE CONGESTION",
+        align="lrrr",
+    )

@@ -1,0 +1,119 @@
+"""Multi-seed replication: how seed-sensitive are the results?
+
+The synthetic kernels draw their random address streams from per-warp
+seeded generators, so any single number carries sampling noise.  This
+module repeats a measurement across seeds and reports mean, standard
+deviation and the coefficient of variation — the evidence that the
+characterization's conclusions do not hinge on one lucky seed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass
+
+from repro.core.metrics import RunMetrics, run_kernel
+from repro.sim.config import GPUConfig
+from repro.utils.tables import render_table
+from repro.workloads.program import KernelProgram
+from repro.workloads.suite import get_benchmark
+
+
+@dataclass(frozen=True)
+class Replication:
+    """Mean/std of one scalar metric across seeds."""
+
+    metric: str
+    values: tuple[float, ...]
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values)
+
+    @property
+    def std(self) -> float:
+        if len(self.values) < 2:
+            return 0.0
+        mu = self.mean
+        return math.sqrt(
+            sum((v - mu) ** 2 for v in self.values) / (len(self.values) - 1)
+        )
+
+    @property
+    def cv(self) -> float:
+        """Coefficient of variation (std / mean); 0 for a zero mean."""
+        return self.std / self.mean if self.mean else 0.0
+
+    @property
+    def spread(self) -> float:
+        """max - min of the observations."""
+        return max(self.values) - min(self.values)
+
+
+#: Default metrics replicated (name -> extractor).
+DEFAULT_METRICS: dict[str, Callable[[RunMetrics], float]] = {
+    "ipc": lambda m: m.ipc,
+    "l1_avg_miss_latency": lambda m: m.l1_avg_miss_latency,
+    "l2_hit_rate": lambda m: m.l2_hit_rate,
+    "l2_accessq_full": lambda m: m.l2_accessq.full_fraction,
+    "dram_schedq_full": lambda m: m.dram_schedq.full_fraction,
+}
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """All replicated metrics for one benchmark/config pair."""
+
+    benchmark: str
+    seeds: tuple[int, ...]
+    replications: dict[str, Replication]
+
+    def worst_cv(self) -> float:
+        return max(r.cv for r in self.replications.values())
+
+    def to_table(self) -> str:
+        rows = [
+            [name, f"{r.mean:.3f}", f"{r.std:.3f}", f"{r.cv:.1%}"]
+            for name, r in self.replications.items()
+        ]
+        return render_table(
+            ["metric", "mean", "std", "CV"],
+            rows,
+            title=(
+                f"Replication of {self.benchmark} across seeds "
+                f"{list(self.seeds)}"
+            ),
+        )
+
+
+def replicate(
+    config: GPUConfig,
+    benchmark: str | KernelProgram,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    iteration_scale: float = 1.0,
+    metrics: dict[str, Callable[[RunMetrics], float]] | None = None,
+    max_cycles: int = 5_000_000,
+) -> ReplicationReport:
+    """Run a benchmark once per seed and aggregate the chosen metrics."""
+    if isinstance(benchmark, str):
+        kernel = get_benchmark(benchmark, iteration_scale)
+    else:
+        kernel = benchmark
+    if metrics is None:
+        metrics = DEFAULT_METRICS
+    runs = [
+        run_kernel(config, kernel, seed=seed, max_cycles=max_cycles)
+        for seed in seeds
+    ]
+    replications = {
+        name: Replication(
+            metric=name, values=tuple(extract(m) for m in runs)
+        )
+        for name, extract in metrics.items()
+    }
+    return ReplicationReport(
+        benchmark=kernel.name,
+        seeds=tuple(seeds),
+        replications=replications,
+    )

@@ -1,0 +1,116 @@
+"""Report rendering: turn characterization results into paper-style text.
+
+Everything the benchmarks print and EXPERIMENTS.md quotes is produced
+here, so the numbers in documentation and benchmark output always come
+from the same formatting code.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+from repro.core.congestion import CongestionReport
+from repro.core.explorer import ExplorationResult
+from repro.core.latency_profile import (
+    IDEAL_DRAM_LATENCY,
+    IDEAL_L2_LATENCY,
+    LatencyProfile,
+)
+from repro.core.synergy import SynergyAnalysis
+from repro.utils.ascii_plot import line_plot
+from repro.utils.tables import render_table
+
+#: Paper values for side-by-side comparison in reports.
+PAPER_AVG_GAINS: Mapping[str, float] = {
+    "l1": 0.04,
+    "l2": 0.59,
+    "dram": 0.11,
+    "l1+l2": 0.69,
+    "l2+dram": 0.76,
+}
+PAPER_L2_ACCESSQ_FULL = 0.46
+PAPER_DRAM_SCHEDQ_FULL = 0.39
+
+
+def render_figure1(profiles: Sequence[LatencyProfile], width: int = 78) -> str:
+    """ASCII rendition of Figure 1 plus its per-benchmark observations."""
+    series = {p.benchmark: p.series() for p in profiles}
+    plot = line_plot(
+        series,
+        width=width,
+        height=22,
+        title="Fig. 1: Performance variation with increasing L1 miss latency",
+        x_label="fixed L1 miss latency (cycles)",
+        y_label="IPC (normalized to baseline)",
+    )
+    rows = []
+    for p in profiles:
+        intercept = p.intercept_latency()
+        rows.append(
+            [
+                p.benchmark,
+                f"{p.peak_normalized_ipc:.2f}x",
+                p.plateau_latency(),
+                f"{intercept:.0f}" if intercept is not None else ">max",
+                f"{p.baseline_avg_miss_latency:.0f}",
+            ]
+        )
+    table = render_table(
+        [
+            "benchmark",
+            "peak norm. IPC",
+            "plateau lat",
+            "intercept lat",
+            "measured baseline miss lat",
+        ],
+        rows,
+        title=(
+            f"Ideal latencies (Sec. II): L2 ~{IDEAL_L2_LATENCY} cy, "
+            f"DRAM ~{IDEAL_DRAM_LATENCY} cy"
+        ),
+    )
+    return f"{plot}\n\n{table}"
+
+
+def render_congestion(report: CongestionReport) -> str:
+    """Section III comparison against the paper's 46% / 39%."""
+    lines = [
+        report.to_table(),
+        "",
+        "Section III headline comparison:",
+        (
+            f"  L2 access queues full:  measured "
+            f"{report.avg_l2_access_queue_full:.0%} of usage lifetime "
+            f"(paper: {PAPER_L2_ACCESSQ_FULL:.0%})"
+        ),
+        (
+            f"  DRAM sched queues full: measured "
+            f"{report.avg_dram_queue_full:.0%} of usage lifetime "
+            f"(paper: {PAPER_DRAM_SCHEDQ_FULL:.0%})"
+        ),
+    ]
+    return "\n".join(lines)
+
+
+def render_section_iv(
+    result: ExplorationResult, synergy: SynergyAnalysis | None = None
+) -> str:
+    """Section IV speedup summary with paper-value comparison."""
+    parts = [result.to_table(), ""]
+    rows = []
+    for label, paper in PAPER_AVG_GAINS.items():
+        if label not in result.runs:
+            continue
+        measured = result.average_gain(label)
+        rows.append([label, f"{measured:+.0%}", f"{paper:+.0%}"])
+    parts.append(
+        render_table(
+            ["configuration", "measured avg gain", "paper avg gain"],
+            rows,
+            title="Average speedup over the suite vs paper",
+        )
+    )
+    if synergy is not None:
+        parts.append("")
+        parts.append(synergy.to_table())
+    return "\n".join(parts)

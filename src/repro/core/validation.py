@@ -1,0 +1,166 @@
+"""Self-validation: the paper's claims as named, runnable checks.
+
+`validate_reproduction` runs the full experiment battery and evaluates
+every qualitative claim the reproduction stands on — the same assertions
+the benchmark harness makes, packaged as a structured report so CI
+pipelines and the CLI (``repro validate``) can consume them.
+
+Checks (all *shape* claims, per the reproduction brief):
+
+=====================  ==================================================
+check                  paper claim
+=====================  ==================================================
+fig1_curves_fall       IPC decreases with fixed L1 miss latency
+fig1_compute_flat      the compute-bound benchmark's curve is ~flat
+fig1_intercepts_high   effective baseline latencies >> ideal L2 latency
+sec3_l2_congested      L2 access queues full a substantial fraction
+sec3_dram_congested    DRAM scheduler queues full a substantial fraction
+sec4_l2_dominates      L2-level scaling >> DRAM-level >> L1-level
+sec4_superadditive     both combined scalings exceed the sum of parts
+sec4_l1_backfires      isolated L1 scaling degrades >= 1 benchmark
+sec4_cache_beats_dram  L1+L2 scaling beats high-bandwidth DRAM alone
+=====================  ==================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence
+
+from repro.core.congestion import measure_congestion
+from repro.core.explorer import explore_design_space
+from repro.core.latency_profile import (
+    IDEAL_L2_LATENCY,
+    profile_latency_tolerance,
+)
+from repro.core.synergy import analyze_synergy
+from repro.sim.config import GPUConfig
+from repro.utils.tables import render_table
+from repro.workloads.suite import PAPER_SUITE
+
+#: Benchmarks treated as memory-intensive for the Figure 1 checks.
+MEMORY_BOUND: tuple[str, ...] = ("cfd", "dwt2d", "nn", "sc", "lbm", "ss")
+COMPUTE_BOUND = "leukocyte"
+
+
+@dataclass(frozen=True)
+class Check:
+    """One named claim with its verdict and supporting evidence."""
+
+    name: str
+    passed: bool
+    evidence: str
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    checks: tuple[Check, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def failures(self) -> list[Check]:
+        return [c for c in self.checks if not c.passed]
+
+    def to_table(self) -> str:
+        rows = [
+            [c.name, "PASS" if c.passed else "FAIL", c.evidence]
+            for c in self.checks
+        ]
+        verdict = "REPRODUCED" if self.passed else "NOT REPRODUCED"
+        return render_table(
+            ["check", "verdict", "evidence"], rows,
+            title=f"Reproduction validation: {verdict}", align="lll")
+
+
+def validate_reproduction(
+    config: GPUConfig,
+    iteration_scale: float = 0.5,
+    seed: int = 1,
+    latencies: Sequence[int] = (0, 200, 400, 800),
+) -> ValidationReport:
+    """Run the experiment battery and evaluate every claim."""
+    checks: list[Check] = []
+
+    # --- Figure 1 -----------------------------------------------------
+    profiles = {
+        name: profile_latency_tolerance(
+            name, config, latencies=latencies,
+            iteration_scale=iteration_scale, seed=seed)
+        for name in PAPER_SUITE
+    }
+    falling = [
+        name
+        for name, p in profiles.items()
+        if all(
+            later.ipc <= earlier.ipc * 1.05
+            for earlier, later in zip(p.points, p.points[1:])
+        )
+    ]
+    checks.append(Check(
+        "fig1_curves_fall",
+        len(falling) == len(profiles),
+        f"{len(falling)}/{len(profiles)} curves non-increasing",
+    ))
+    compute_peak = profiles[COMPUTE_BOUND].peak_normalized_ipc
+    checks.append(Check(
+        "fig1_compute_flat",
+        compute_peak < 1.5,
+        f"{COMPUTE_BOUND} peak {compute_peak:.2f}x",
+    ))
+    high = [
+        name for name in MEMORY_BOUND
+        if (i := profiles[name].intercept_latency()) is not None
+        and i > IDEAL_L2_LATENCY
+    ]
+    checks.append(Check(
+        "fig1_intercepts_high",
+        len(high) == len(MEMORY_BOUND),
+        f"{len(high)}/{len(MEMORY_BOUND)} intercepts above "
+        f"{IDEAL_L2_LATENCY} cy",
+    ))
+
+    # --- Section III ----------------------------------------------------
+    congestion = measure_congestion(
+        config, iteration_scale=iteration_scale, seed=seed)
+    l2_full = congestion.avg_l2_access_queue_full
+    dram_full = congestion.avg_dram_queue_full
+    checks.append(Check(
+        "sec3_l2_congested", 0.10 <= l2_full <= 0.80,
+        f"L2 access queues full {l2_full:.0%} (paper 46%)"))
+    checks.append(Check(
+        "sec3_dram_congested", 0.10 <= dram_full <= 0.80,
+        f"DRAM sched queues full {dram_full:.0%} (paper 39%)"))
+
+    # --- Section IV -----------------------------------------------------
+    result = explore_design_space(
+        config, iteration_scale=iteration_scale, seed=seed)
+    gains = {l: result.average_gain(l) for l in ("l1", "l2", "dram")}
+    checks.append(Check(
+        "sec4_l2_dominates",
+        gains["l2"] > gains["dram"] > gains["l1"],
+        "gains: " + ", ".join(f"{l} {g:+.0%}" for l, g in gains.items()),
+    ))
+    synergy = analyze_synergy(result)
+    checks.append(Check(
+        "sec4_superadditive",
+        synergy.all_super_additive,
+        ", ".join(
+            f"{p.combined_label} {p.synergy:+.1%}" for p in synergy.pairs),
+    ))
+    degraded = result.degraded_benchmarks("l1")
+    checks.append(Check(
+        "sec4_l1_backfires",
+        bool(degraded),
+        f"degraded: {', '.join(degraded) or 'none'}",
+    ))
+    cache_gain = result.average_gain("l1+l2")
+    checks.append(Check(
+        "sec4_cache_beats_dram",
+        cache_gain > gains["dram"],
+        f"L1+L2 {cache_gain:+.0%} vs DRAM {gains['dram']:+.0%}",
+    ))
+
+    return ValidationReport(checks=tuple(checks))

@@ -1,0 +1,18 @@
+"""SIMT cores: warps, warp schedulers, and streaming multiprocessors."""
+
+from repro.cores.warp import Warp, WarpState
+from repro.cores.scheduler import GTOScheduler, LRRScheduler, make_warp_scheduler
+from repro.cores.sm import SM
+from repro.cores.coalescer import Coalescer, CoalescingStats, coalesce
+
+__all__ = [
+    "Warp",
+    "WarpState",
+    "GTOScheduler",
+    "LRRScheduler",
+    "make_warp_scheduler",
+    "SM",
+    "Coalescer",
+    "CoalescingStats",
+    "coalesce",
+]

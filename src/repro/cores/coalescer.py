@@ -1,0 +1,113 @@
+"""Memory access coalescing.
+
+Fermi-style coalescing: the 32 lanes of a warp each produce a byte
+address; the coalescer merges them into the minimal set of line-sized
+transactions.  A fully coalesced access (consecutive 4-byte words) becomes
+one transaction; a strided or scattered access becomes up to 32.
+
+The synthetic suite pre-coalesces (its specs state transactions per load
+directly), but lane-level workloads — traces replayed from
+:mod:`repro.workloads.trace`, or kernels written against
+:func:`coalesce` — use this model, and it quantifies the coalescing
+degree statistics the characterization reports.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+#: Lanes per warp on the modelled architecture.
+WARP_SIZE = 32
+
+
+def coalesce(addresses: Iterable[int | None], line_bytes: int) -> list[int]:
+    """Merge per-lane byte addresses into line transactions.
+
+    ``None`` entries model inactive lanes (divergence mask).  Returns the
+    distinct line indices in first-touch order — the order requests are
+    generated, matching hardware that scans the lane mask.
+    """
+    if line_bytes < 1 or line_bytes & (line_bytes - 1):
+        raise ConfigError(f"line size must be a power of two, got {line_bytes}")
+    shift = line_bytes.bit_length() - 1
+    seen: dict[int, None] = {}
+    for address in addresses:
+        if address is None:
+            continue
+        if address < 0:
+            raise ConfigError(f"negative address {address}")
+        seen.setdefault(address >> shift, None)
+    return list(seen)
+
+
+@dataclass
+class CoalescingStats:
+    """Aggregate coalescing behaviour over a kernel."""
+
+    #: histogram: transactions-per-access -> count of warp accesses.
+    histogram: Counter = field(default_factory=Counter)
+
+    def record(self, n_transactions: int) -> None:
+        self.histogram[n_transactions] += 1
+
+    @property
+    def accesses(self) -> int:
+        return sum(self.histogram.values())
+
+    @property
+    def transactions(self) -> int:
+        return sum(n * c for n, c in self.histogram.items())
+
+    @property
+    def mean_transactions_per_access(self) -> float:
+        """1.0 = perfectly coalesced; 32.0 = fully divergent."""
+        return self.transactions / self.accesses if self.accesses else 0.0
+
+    @property
+    def fully_coalesced_fraction(self) -> float:
+        return self.histogram[1] / self.accesses if self.accesses else 0.0
+
+
+class Coalescer:
+    """Stateful helper: coalesce accesses and accumulate statistics."""
+
+    def __init__(self, line_bytes: int) -> None:
+        self.line_bytes = line_bytes
+        self.stats = CoalescingStats()
+
+    def access(self, addresses: Sequence[int | None]) -> list[int]:
+        """Coalesce one warp access and record its degree."""
+        if len(addresses) > WARP_SIZE:
+            raise ConfigError(
+                f"warp access has {len(addresses)} lanes (max {WARP_SIZE})")
+        lines = coalesce(addresses, self.line_bytes)
+        if lines:
+            self.stats.record(len(lines))
+        return lines
+
+
+# ----------------------------------------------------------------------
+# common lane-address generators (for writing lane-level kernels)
+# ----------------------------------------------------------------------
+def unit_stride_lanes(base: int, element_bytes: int = 4) -> list[int]:
+    """lane i -> base + i * element_bytes: the fully coalesced pattern."""
+    return [base + lane * element_bytes for lane in range(WARP_SIZE)]
+
+
+def strided_lanes(base: int, stride_bytes: int) -> list[int]:
+    """lane i -> base + i * stride: strided (possibly divergent) access."""
+    return [base + lane * stride_bytes for lane in range(WARP_SIZE)]
+
+
+def masked_lanes(
+    addresses: Sequence[int], active_mask: int
+) -> list[int | None]:
+    """Apply a 32-bit activity mask (bit i set = lane i active)."""
+    return [
+        address if active_mask & (1 << lane) else None
+        for lane, address in enumerate(addresses)
+    ]

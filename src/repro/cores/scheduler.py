@@ -1,0 +1,140 @@
+"""Warp schedulers.
+
+Two policies mirror GPGPU-Sim's standard options:
+
+* **LRR** (loose round robin) — ready warps rotate; spreads issue slots
+  evenly, which interleaves many warps' working sets (thrash-prone but
+  latency-tolerant).
+* **GTO** (greedy-then-oldest) — keep issuing the current warp until it
+  blocks, then fall back to the oldest ready warp; concentrates locality.
+
+The scheduler only *orders* candidates; the SM remains responsible for
+structural checks (LD/ST queue space) and may skip a candidate that cannot
+issue this cycle.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import ConfigError
+from repro.cores.warp import Warp
+
+
+class WarpScheduler:
+    """Maintains the ready pool and yields issue candidates."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        self._ready_set: set[int] = set()
+
+    # -- pool maintenance ------------------------------------------------
+    def add(self, warp: Warp) -> None:
+        """Insert a warp into the ready pool (idempotent)."""
+        if warp.warp_id in self._ready_set:
+            return
+        self._ready_set.add(warp.warp_id)
+        self._insert(warp)
+
+    def remove(self, warp: Warp) -> None:
+        """Drop a warp (blocked or retired) from the ready pool."""
+        if warp.warp_id not in self._ready_set:
+            return
+        self._ready_set.discard(warp.warp_id)
+        self._evict(warp)
+
+    def contains(self, warp: Warp) -> bool:
+        return warp.warp_id in self._ready_set
+
+    def __len__(self) -> int:
+        return len(self._ready_set)
+
+    # -- candidate iteration ----------------------------------------------
+    def candidates(self) -> list[Warp]:
+        """Ready warps in issue-priority order (highest first)."""
+        raise NotImplementedError
+
+    def issued(self, warp: Warp) -> None:
+        """Notification that ``warp`` issued an instruction this cycle."""
+
+    def _insert(self, warp: Warp) -> None:
+        raise NotImplementedError
+
+    def _evict(self, warp: Warp) -> None:
+        raise NotImplementedError
+
+
+class LRRScheduler(WarpScheduler):
+    """Loose round robin over the ready pool."""
+
+    name = "lrr"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._queue: deque[Warp] = deque()
+
+    def _insert(self, warp: Warp) -> None:
+        self._queue.append(warp)
+
+    def _evict(self, warp: Warp) -> None:
+        try:
+            self._queue.remove(warp)
+        except ValueError:  # pragma: no cover - guarded by _ready_set
+            pass
+
+    def candidates(self) -> list[Warp]:
+        return list(self._queue)
+
+    def issued(self, warp: Warp) -> None:
+        # Rotate the issuing warp to the back.
+        if self._queue and self._queue[0] is warp:
+            self._queue.rotate(-1)
+        elif warp.warp_id in self._ready_set:
+            try:
+                self._queue.remove(warp)
+                self._queue.append(warp)
+            except ValueError:  # pragma: no cover
+                pass
+
+
+class GTOScheduler(WarpScheduler):
+    """Greedy-then-oldest."""
+
+    name = "gto"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pool: dict[int, Warp] = {}
+        self._current: Warp | None = None
+
+    def _insert(self, warp: Warp) -> None:
+        self._pool[warp.warp_id] = warp
+
+    def _evict(self, warp: Warp) -> None:
+        self._pool.pop(warp.warp_id, None)
+        if self._current is warp:
+            self._current = None
+
+    def candidates(self) -> list[Warp]:
+        if not self._pool:
+            return []
+        ordered = sorted(self._pool.values(), key=lambda w: w.warp_id)
+        if self._current is not None and self._current.warp_id in self._pool:
+            ordered.remove(self._current)
+            ordered.insert(0, self._current)
+        return ordered
+
+    def issued(self, warp: Warp) -> None:
+        self._current = warp
+
+
+_SCHEDULERS = {"lrr": LRRScheduler, "gto": GTOScheduler}
+
+
+def make_warp_scheduler(name: str) -> WarpScheduler:
+    """Instantiate a warp scheduler by name ("lrr" or "gto")."""
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise ConfigError(f"unknown warp scheduler {name!r}") from None

@@ -1,0 +1,277 @@
+"""Streaming multiprocessor.
+
+Per cycle the SM:
+
+1. collects completed L1 transactions (hits and fills) and wakes warps
+   whose load instructions finished;
+2. drains its LD/ST queue into the L1 at up to ``mem_pipeline_width``
+   transactions per cycle (Table I "Memory pipeline width"), stopping on
+   the first L1 refusal — back-pressure from a congested L1/L2 therefore
+   throttles the memory pipeline, the paper's point 3;
+3. issues up to ``issue_width`` instructions from ready warps chosen by
+   the warp scheduler.
+
+IPC is ``instructions / cycles`` summed over SMs; warps block on their MLP
+limit and on membars, so exposed memory latency directly suppresses issue.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.cache.l1 import AccessResult, L1DCache
+from repro.cores.scheduler import make_warp_scheduler
+from repro.cores.warp import LoadInstr, Warp, WarpState
+from repro.mem.request import AccessKind, MemoryRequest, RequestFactory
+from repro.sim.component import Component
+from repro.sim.config import GPUConfig
+
+#: Outcomes of one issue attempt.
+_ISSUED = 1
+_NO_ISSUE = 0
+_MEM_STALL = -1
+
+
+class SM(Component):
+    """One streaming multiprocessor plus its private L1D."""
+
+    def __init__(
+        self,
+        sm_id: int,
+        config: GPUConfig,
+        warp_programs: list,
+        mlp_limit: int,
+        request_factory: RequestFactory,
+    ) -> None:
+        self.name = f"sm{sm_id}"
+        self.sm_id = sm_id
+        self._config = config
+        self._factory = request_factory
+        self.l1 = L1DCache(f"{self.name}.l1", config, sm_id)
+        self.warps = [
+            Warp(i, program, mlp_limit) for i, program in enumerate(warp_programs)
+        ]
+        self.scheduler = make_warp_scheduler(config.core.scheduler)
+        limit = config.core.active_warp_limit
+        active = self.warps if limit is None else self.warps[:limit]
+        #: Warps waiting for an activation slot (TLP throttling).
+        self._inactive_warps = deque(
+            [] if limit is None else self.warps[limit:])
+        for warp in active:
+            self.scheduler.add(warp)
+        self._ldst_queue: deque[MemoryRequest] = deque()
+        self._ldst_capacity = config.core.ldst_queue_depth
+        self._issue_width = config.core.issue_width
+        self._mem_width = config.core.mem_pipeline_width
+        #: rid -> LoadInstr for outstanding load transactions.
+        self._txn_tracker: dict[int, LoadInstr] = {}
+        self._retired = 0
+        # --- statistics ---
+        self.instructions = 0
+        self.cycles = 0
+        #: Cycles the memory pipeline was throttled by an L1 refusal.
+        self.mem_pipeline_stall_cycles = 0
+        self.stall_cycles_by_cause: dict[AccessResult, int] = {}
+        #: Cycles with at least one ready warp but no instruction issued
+        #: (structural: LD/ST queue full).
+        self.issue_starved_cycles = 0
+        #: Cycles with no ready warp at all (everything blocked on memory).
+        self.no_ready_warp_cycles = 0
+        #: Fast-path flag: all warps retired and all queues drained.
+        self._quiesced = False
+        #: (request id, L1 resource epoch) of the last stalled transaction;
+        #: retried only when the epoch advances.
+        self._stalled_rid = -1
+        self._stalled_epoch = -1
+        self._stalled_cause = None
+
+    # ------------------------------------------------------------------
+    # component protocol
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        self.cycles += 1
+        if self._quiesced:
+            return
+        self._process_completions(now)
+        self._drain_ldst(now)
+        self._issue(now)
+        if self.done and not self._ldst_queue and self.l1.is_idle():
+            self._quiesced = True
+
+    def _process_completions(self, now: int) -> None:
+        for request in self.l1.collect_completions(now):
+            tracker = self._txn_tracker.pop(request.rid, None)
+            if tracker is None:
+                continue
+            tracker.remaining -= 1
+            if tracker.remaining:
+                continue
+            warp = self.warps[tracker.warp_id]
+            warp.on_load_complete()
+            if warp.state is WarpState.BLOCKED and not warp.should_block():
+                if warp.can_retire():
+                    self._retire(warp)
+                elif warp.program_done and warp.pending_instr is None:
+                    pass  # waiting for remaining loads before retiring
+                else:
+                    warp.state = WarpState.READY
+                    self.scheduler.add(warp)
+            elif warp.can_retire():
+                self._retire(warp)
+
+    def _drain_ldst(self, now: int) -> None:
+        queue = self._ldst_queue
+        if not queue:
+            return
+        head = queue[0]
+        if head.rid == self._stalled_rid:
+            # The head stalled before; retry only once an L1 resource event
+            # (fill, MSHR release, miss-queue pop) could have unblocked it.
+            epoch = self.l1.resource_epoch()
+            if epoch == self._stalled_epoch:
+                self.mem_pipeline_stall_cycles += 1
+                cause = self._stalled_cause
+                self.stall_cycles_by_cause[cause] = (
+                    self.stall_cycles_by_cause.get(cause, 0) + 1
+                )
+                return
+            self._stalled_rid = -1
+        sent = 0
+        while queue and sent < self._mem_width:
+            request = queue[0]
+            result = self.l1.try_access(request, now)
+            if result.is_stall:
+                self.mem_pipeline_stall_cycles += 1
+                self.stall_cycles_by_cause[result] = (
+                    self.stall_cycles_by_cause.get(result, 0) + 1
+                )
+                self._stalled_rid = request.rid
+                self._stalled_epoch = self.l1.resource_epoch()
+                self._stalled_cause = result
+                break
+            queue.popleft()
+            sent += 1
+
+    def _issue(self, now: int) -> None:
+        issued = 0
+        candidates = self.scheduler.candidates()
+        if not candidates:
+            self.no_ready_warp_cycles += 1
+            return
+        mem_blocked = False
+        for warp in candidates:
+            if issued >= self._issue_width:
+                break
+            if mem_blocked and warp.remaining_compute == 0:
+                pending = warp.pending_instr
+                if pending is not None and pending[0] != "compute":
+                    # In-order LD/ST dispatch: once one memory instruction
+                    # stalled for queue space this cycle, later memory
+                    # instructions cannot bypass it.
+                    continue
+            result = self._issue_one(warp, now)
+            if result == _ISSUED:
+                issued += 1
+                self.scheduler.issued(warp)
+            elif result == _MEM_STALL:
+                mem_blocked = True
+        if issued == 0:
+            self.issue_starved_cycles += 1
+
+    def _issue_one(self, warp: Warp, now: int) -> int:
+        """Issue one instruction from ``warp``.
+
+        Returns ``_ISSUED``, ``_NO_ISSUE`` (program exhausted) or
+        ``_MEM_STALL`` (LD/ST queue lacked space for the transactions).
+        """
+        if warp.remaining_compute > 0:
+            warp.remaining_compute -= 1
+            self._count_issue(warp)
+            return _ISSUED
+        instr = warp.fetch()
+        if instr is None:
+            self._maybe_retire_exhausted(warp)
+            return _NO_ISSUE
+        op = instr[0]
+        if op == "compute":
+            warp.consume_pending()
+            warp.remaining_compute = max(0, instr[1] - 1)
+            self._count_issue(warp)
+            return _ISSUED
+        if op == "membar":
+            warp.consume_pending()
+            self._count_issue(warp)
+            if warp.outstanding_loads > 0:
+                warp.at_membar = True
+                self._block(warp)
+            return _ISSUED
+        # Memory instruction: needs LD/ST queue space for all transactions.
+        lines = instr[1]
+        if len(self._ldst_queue) + len(lines) > self._ldst_capacity:
+            return _MEM_STALL
+        warp.consume_pending()
+        self._count_issue(warp)
+        if op == "load":
+            tracker = LoadInstr(warp_id=warp.warp_id, remaining=len(lines))
+            warp.outstanding_loads += 1
+            for line in lines:
+                request = self._factory.make(
+                    AccessKind.LOAD, line, self.sm_id, warp.warp_id, now
+                )
+                self._txn_tracker[request.rid] = tracker
+                self._ldst_queue.append(request)
+            if warp.should_block():
+                self._block(warp)
+        else:  # store
+            for line in lines:
+                request = self._factory.make(
+                    AccessKind.STORE, line, self.sm_id, warp.warp_id, now
+                )
+                self._ldst_queue.append(request)
+        return _ISSUED
+
+    # ------------------------------------------------------------------
+    # warp lifecycle helpers
+    # ------------------------------------------------------------------
+    def _count_issue(self, warp: Warp) -> None:
+        self.instructions += 1
+        warp.instructions += 1
+
+    def _block(self, warp: Warp) -> None:
+        warp.state = WarpState.BLOCKED
+        self.scheduler.remove(warp)
+
+    def _maybe_retire_exhausted(self, warp: Warp) -> None:
+        if warp.can_retire():
+            self._retire(warp)
+        else:
+            # Program done but loads outstanding: leave the ready pool and
+            # retire from _process_completions when the last load returns.
+            warp.state = WarpState.BLOCKED
+            self.scheduler.remove(warp)
+
+    def _retire(self, warp: Warp) -> None:
+        if warp.state is not WarpState.RETIRED:
+            warp.state = WarpState.RETIRED
+            self.scheduler.remove(warp)
+            self._retired += 1
+            if self._inactive_warps:
+                self.scheduler.add(self._inactive_warps.popleft())
+
+    # ------------------------------------------------------------------
+    # status
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        """All warps retired (their loads necessarily completed)."""
+        return self._retired == len(self.warps)
+
+    def is_idle(self) -> bool:
+        return self.done and not self._ldst_queue and self.l1.is_idle()
+
+    def finalize(self, now: int) -> None:
+        self.l1.finalize(now)
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0

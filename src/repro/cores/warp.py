@@ -1,0 +1,127 @@
+"""Warp state machine.
+
+A warp executes a *program*: an iterator of instruction tuples produced by
+the workload layer (:mod:`repro.workloads.program`).  The instruction set
+is deliberately tiny — the paper's characterization depends only on the
+interleaving of computation and memory transactions:
+
+``("compute", n)``
+    ``n`` single-cycle arithmetic instructions (they occupy ``n`` issue
+    slots, which is how computation hides memory latency).
+``("load", [line, ...])``
+    One load instruction whose coalescer output is the given list of
+    line-sized transactions.  The warp blocks when its number of
+    incomplete load instructions reaches its MLP limit.
+``("store", [line, ...])``
+    One store instruction; stores are fire-and-forget (write-through L1).
+``("membar",)``
+    Blocks the warp until all its outstanding loads have completed.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+Instruction = tuple
+
+VALID_OPS = ("compute", "load", "store", "membar")
+
+
+class WarpState(enum.Enum):
+    READY = "ready"
+    #: Blocked on memory (MLP limit or membar).
+    BLOCKED = "blocked"
+    #: Program exhausted and all loads returned.
+    RETIRED = "retired"
+
+
+@dataclass
+class LoadInstr:
+    """Tracks completion of one load instruction's transactions."""
+
+    warp_id: int
+    remaining: int
+
+
+class Warp:
+    """One warp's dynamic execution state."""
+
+    def __init__(
+        self, warp_id: int, program: Iterator[Instruction], mlp_limit: int
+    ) -> None:
+        if mlp_limit < 1:
+            raise WorkloadError("warp MLP limit must be >= 1")
+        self.warp_id = warp_id
+        self._program = program
+        self.mlp_limit = mlp_limit
+        self.state = WarpState.READY
+        #: Single-cycle arithmetic instructions left in the current block.
+        self.remaining_compute = 0
+        #: Instruction fetched but not yet issued (structural stall).
+        self.pending_instr: Instruction | None = None
+        #: Incomplete load instructions.
+        self.outstanding_loads = 0
+        self.at_membar = False
+        self.program_done = False
+        #: Instructions issued by this warp (for per-warp statistics).
+        self.instructions = 0
+
+    # ------------------------------------------------------------------
+    def fetch(self) -> Instruction | None:
+        """Next instruction to issue, or None when the program is done.
+
+        A previously fetched-but-stalled instruction is returned again
+        until the SM reports it issued.
+        """
+        if self.pending_instr is not None:
+            return self.pending_instr
+        if self.program_done:
+            return None
+        try:
+            instr = next(self._program)
+        except StopIteration:
+            self.program_done = True
+            return None
+        if not instr or instr[0] not in VALID_OPS:
+            raise WorkloadError(f"warp {self.warp_id}: bad instruction {instr!r}")
+        self.pending_instr = instr
+        return instr
+
+    def consume_pending(self) -> None:
+        """Mark the pending instruction as issued."""
+        self.pending_instr = None
+
+    # ------------------------------------------------------------------
+    @property
+    def mlp_saturated(self) -> bool:
+        return self.outstanding_loads >= self.mlp_limit
+
+    def should_block(self) -> bool:
+        """Whether the warp must leave the ready pool right now."""
+        if self.at_membar:
+            return self.outstanding_loads > 0
+        return self.mlp_saturated
+
+    def can_retire(self) -> bool:
+        return (
+            self.program_done
+            and self.pending_instr is None
+            and self.remaining_compute == 0
+            and self.outstanding_loads == 0
+        )
+
+    def on_load_complete(self) -> None:
+        """One load instruction fully returned."""
+        self.outstanding_loads -= 1
+        if self.outstanding_loads == 0:
+            self.at_membar = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Warp({self.warp_id}, {self.state.value}, "
+            f"loads={self.outstanding_loads})"
+        )

@@ -1,0 +1,13 @@
+"""DRAM channel model: bank state machines, scheduling policies, controller."""
+
+from repro.dram.bankstate import BankState
+from repro.dram.scheduler import FCFSScheduler, FRFCFSScheduler, make_scheduler
+from repro.dram.controller import DRAMChannel
+
+__all__ = [
+    "BankState",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "make_scheduler",
+    "DRAMChannel",
+]

@@ -1,0 +1,63 @@
+"""Per-bank DRAM state.
+
+Each bank tracks its open row and the cycle until which it is busy with the
+current access (including the data transfer).  Service latency for a new
+access depends on the row-buffer state:
+
+* **row hit** — the requested row is open: CAS latency only.
+* **row closed** — no row open: activate (tRCD) + CAS.
+* **row conflict** — a different row is open: precharge (tRP) + activate
+  (tRCD) + CAS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.config import DRAMConfig
+
+
+@dataclass
+class BankState:
+    """Dynamic state of one DRAM bank."""
+
+    bank_id: int
+    open_row: int | None = None
+    busy_until: int = 0
+    #: Statistics: accesses served by row-buffer state.
+    row_hits: int = 0
+    row_conflicts: int = 0
+    row_closed: int = 0
+
+    def ready(self, now: int) -> bool:
+        """Whether the bank can start a new access at cycle ``now``."""
+        return now >= self.busy_until
+
+    def is_row_hit(self, row: int) -> bool:
+        return self.open_row == row
+
+    def access_latency(self, row: int, timing: DRAMConfig) -> int:
+        """Command latency (excluding data transfer) to access ``row``."""
+        if self.open_row == row:
+            return timing.t_cas
+        if self.open_row is None:
+            return timing.t_rcd + timing.t_cas
+        return timing.t_rp + timing.t_rcd + timing.t_cas
+
+    def record_access(self, row: int) -> None:
+        """Update row-state statistics for an access about to start."""
+        if self.open_row == row:
+            self.row_hits += 1
+        elif self.open_row is None:
+            self.row_closed += 1
+        else:
+            self.row_conflicts += 1
+
+    @property
+    def accesses(self) -> int:
+        return self.row_hits + self.row_conflicts + self.row_closed
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = self.accesses
+        return self.row_hits / total if total else 0.0

@@ -1,0 +1,220 @@
+"""DRAM channel controller (one per memory partition).
+
+Pipeline per cycle:
+
+1. retire finished accesses — reads into the return queue towards L2
+   (head-of-line stall when that queue is full), writes complete silently;
+2. pull requests from the partition's L2 miss queue into the Table I
+   *scheduler queue* (the structure whose full-time Section III reports);
+3. issue one DRAM command chosen by the scheduling policy: a CAS dequeues
+   the request and books its line transfer on the data bus
+   (``line_bytes / (bus_bytes * data_rate)`` cycles — the Table I
+   bus-width lever); a precharge+activate opens a row while the request
+   *stays in the scheduler queue* — so a loaded channel shows up as a full
+   scheduler queue, exactly what Section III measures.
+
+A CAS only issues when the data bus is booked at most a small window
+ahead, and reads only while in-flight reads leave headroom in the return
+queue, so completions can never wedge the controller.
+"""
+
+from __future__ import annotations
+
+from repro.dram.bankstate import BankState
+from repro.dram.scheduler import ACTIVATE, make_scheduler
+from repro.mem.address import AddressMapper
+from repro.mem.pipe import DelayPipe
+from repro.mem.queue import StatQueue
+from repro.mem.request import AccessKind, MemoryRequest
+from repro.sim.component import Component
+from repro.sim.config import GPUConfig
+from repro.utils.stats import Accumulator
+
+
+class DRAMChannel(Component):
+    """One GDDR channel plus its controller."""
+
+    def __init__(
+        self,
+        name: str,
+        config: GPUConfig,
+        mapper: AddressMapper,
+        partition_id: int,
+    ) -> None:
+        self.name = name
+        self.partition_id = partition_id
+        self._config = config
+        self._mapper = mapper
+        cfg = config.dram
+        self.sched_queue: StatQueue[MemoryRequest] = StatQueue(
+            f"{name}.sched_queue", cfg.sched_queue_depth
+        )
+        self.return_queue: StatQueue[MemoryRequest] = StatQueue(
+            f"{name}.return_queue", cfg.return_queue_depth
+        )
+        self.banks = [BankState(bank_id=i) for i in range(cfg.banks)]
+        self._scheduler = make_scheduler(cfg.scheduler)
+        self._transfer_cycles = config.dram_transfer_cycles
+        self._bus_free_at = 0
+        self._completions: DelayPipe[MemoryRequest] = DelayPipe(
+            f"{name}.completions", 0
+        )
+        self._reads_in_flight = 0
+        self._next_refresh = cfg.refresh_interval or None
+        #: Set by the GPU wiring: the L2 slice whose miss queue we drain.
+        self.l2 = None
+        # --- statistics ---
+        self.reads: int = 0
+        self.writes: int = 0
+        self.refreshes: int = 0
+        self.bus_busy_cycles: int = 0
+        self.service_latency = Accumulator(f"{name}.service_latency")
+
+    # ------------------------------------------------------------------
+    # component protocol
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        # Fast path: controller completely idle and nothing to admit.
+        if (
+            self.sched_queue.empty
+            and self._completions.empty
+            and (self.l2 is None or self.l2.miss_queue.empty)
+        ):
+            return
+        if self._next_refresh is not None and now >= self._next_refresh:
+            self._refresh(now)
+        self._retire(now)
+        self._admit(now)
+        self._issue(now)
+
+    def _refresh(self, now: int) -> None:
+        """Lock every bank out for a refresh and close its row."""
+        cfg = self._config.dram
+        lockout = now + cfg.refresh_cycles
+        for bank in self.banks:
+            bank.busy_until = max(bank.busy_until, lockout)
+            bank.open_row = None
+        self.refreshes += 1
+        # Catch up if the channel idled through several intervals.
+        while self._next_refresh <= now:
+            self._next_refresh += cfg.refresh_interval
+
+    def _retire(self, now: int) -> None:
+        while self._completions.ready(now):
+            request = self._completions.peek()
+            if request.kind is AccessKind.WRITEBACK:
+                self._completions.pop()
+                request.stamp("dram_done", now)
+                self.writes += 1
+            else:
+                # LOADs and write-allocate STORE fetches both return data to
+                # the L2 so their MSHR entries release.
+                if not self.return_queue.can_push():
+                    break  # L2 fill path congested; hold completions
+                self._completions.pop()
+                request.stamp("dram_done", now)
+                self._reads_in_flight -= 1
+                self.return_queue.push(request, now)
+
+    def _admit(self, now: int) -> None:
+        """Move one request per cycle from the L2 miss queue to the
+        scheduler queue (back-pressure lands in the miss queue when the
+        scheduler queue is full)."""
+        if self.l2 is None:
+            return
+        miss_queue = self.l2.miss_queue
+        if not miss_queue.empty and self.sched_queue.can_push():
+            request = miss_queue.pop(now)
+            request.stamp("dram_in", now)
+            self.sched_queue.push(request, now)
+
+    def _issue(self, now: int) -> None:
+        if self.sched_queue.empty:
+            return
+        timing = self._config.dram
+        headroom = self.return_queue.capacity - len(self.return_queue)
+        # The bus may be booked up to ``bus_window_transfers`` transfers
+        # beyond the earliest possible data arrival (now + tCAS); measuring
+        # from ``now`` alone would lock the channel whenever tCAS exceeds
+        # the window.
+        bus_window = timing.bus_window_transfers * self._transfer_cycles
+        bus_gate_ok = self._bus_free_at - (now + timing.t_cas) <= bus_window
+
+        def cas_ok(request: MemoryRequest) -> bool:
+            if not bus_gate_ok:
+                return False
+            if request.kind is AccessKind.WRITEBACK:
+                return True
+            return self._reads_in_flight < headroom
+
+        choice = self._scheduler.select(
+            self.sched_queue,
+            self.banks,
+            self._bank_of,
+            self._row_of,
+            now,
+            cas_ok,
+        )
+        if choice is None:
+            return
+        command, request = choice
+        bank = self.banks[self._bank_of(request)]
+        row = self._row_of(request)
+        if command == ACTIVATE:
+            # Precharge (if a row is open) + activate; the request stays in
+            # the scheduler queue until its CAS.
+            if bank.open_row is None:
+                bank.row_closed += 1
+                bank.busy_until = now + timing.t_rcd
+            else:
+                bank.row_conflicts += 1
+                bank.busy_until = now + timing.t_rp + timing.t_rcd
+            bank.open_row = row
+            request.timestamps.setdefault("dram_act", now)
+            return
+        # CAS: dequeue, book the data bus, schedule completion.
+        if "dram_act" not in request.timestamps:
+            bank.row_hits += 1
+        data_start = max(now + timing.t_cas, self._bus_free_at)
+        done = data_start + self._transfer_cycles
+        self._bus_free_at = done
+        self.bus_busy_cycles += self._transfer_cycles
+        self.sched_queue.remove(request, now)
+        self.service_latency.add(done - now)
+        if request.kind is not AccessKind.WRITEBACK:
+            self._reads_in_flight += 1
+            self.reads += 1
+        self._completions.insert_at(request, done)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _bank_of(self, request: MemoryRequest) -> int:
+        return self._mapper.dram_bank(request.line)
+
+    def _row_of(self, request: MemoryRequest) -> int:
+        return self._mapper.dram_row(request.line)
+
+    # ------------------------------------------------------------------
+    # bookkeeping
+    # ------------------------------------------------------------------
+    def is_idle(self) -> bool:
+        return (
+            self.sched_queue.empty
+            and self.return_queue.empty
+            and self._completions.empty
+        )
+
+    def finalize(self, now: int) -> None:
+        self.sched_queue.finalize(now)
+        self.return_queue.finalize(now)
+
+    @property
+    def row_hit_rate(self) -> float:
+        total = sum(b.accesses for b in self.banks)
+        hits = sum(b.row_hits for b in self.banks)
+        return hits / total if total else 0.0
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(b.accesses for b in self.banks)

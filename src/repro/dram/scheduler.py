@@ -1,0 +1,114 @@
+"""DRAM command scheduling policies.
+
+The controller issues one *command* per cycle per channel: either a CAS
+(column access) that dequeues a request and books its data transfer, or a
+precharge+activate that opens a row for a queued request (the request
+stays queued until its CAS).  The policy picks which command:
+
+* **FR-FCFS** (first-ready, first-come first-served) — the baseline, as in
+  GPGPU-Sim: prefer the oldest request whose row is already open (a CAS /
+  row hit); otherwise activate for the oldest request whose bank is free.
+  Its effectiveness grows with the scheduler-queue depth (Table I scales
+  16 -> 64): a deeper queue exposes more row hits and bank parallelism,
+  which is why the paper lists queue depth as an '='-type parameter.
+* **FCFS** — strictly serves the oldest request (activating its row if
+  needed); the in-order baseline for ablations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import ConfigError
+from repro.dram.bankstate import BankState
+from repro.mem.queue import StatQueue
+from repro.mem.request import MemoryRequest
+
+#: Command kinds returned by a scheduler.
+CAS = "cas"
+ACTIVATE = "activate"
+
+
+class DRAMScheduler:
+    """Strategy object choosing the next DRAM command."""
+
+    name = "base"
+
+    def select(
+        self,
+        queue: StatQueue[MemoryRequest],
+        banks: list[BankState],
+        bank_of: Callable[[MemoryRequest], int],
+        row_of: Callable[[MemoryRequest], int],
+        now: int,
+        cas_ok: Callable[[MemoryRequest], bool],
+    ) -> tuple[str, MemoryRequest] | None:
+        """Pick ``(command, request)`` or None if nothing can issue.
+
+        A CAS candidate needs its bank ready with the right row open and
+        must pass ``cas_ok`` (bus slot within reach, return-path headroom).
+        An activate candidate needs its bank ready with a different (or no)
+        row open.
+        """
+        raise NotImplementedError
+
+
+class FCFSScheduler(DRAMScheduler):
+    """Serve strictly the oldest request."""
+
+    name = "fcfs"
+
+    def select(self, queue, banks, bank_of, row_of, now, cas_ok):
+        for request in queue:
+            bank = banks[bank_of(request)]
+            if not bank.ready(now):
+                continue
+            if bank.open_row == row_of(request):
+                if cas_ok(request):
+                    return (CAS, request)
+                return None  # strict order: wait for the head's bus slot
+            return (ACTIVATE, request)
+        return None
+
+
+class FRFCFSScheduler(DRAMScheduler):
+    """First-ready FCFS: oldest row hit first, else oldest activate."""
+
+    name = "frfcfs"
+
+    def select(self, queue, banks, bank_of, row_of, now, cas_ok):
+        # Pass 1: find the oldest serviceable row hit, and note which banks
+        # still have *pending* hits on their open row — those rows must not
+        # be closed by an activate, or two conflicting requests would thrash
+        # the bank while e.g. a bus-gated CAS waits.
+        banks_with_pending_hits: set[int] = set()
+        for request in queue:
+            bank_idx = bank_of(request)
+            bank = banks[bank_idx]
+            if bank.open_row == row_of(request):
+                banks_with_pending_hits.add(bank_idx)
+                if bank.ready(now) and cas_ok(request):
+                    return (CAS, request)
+        # Pass 2: oldest activate on a free bank without pending hits.
+        for request in queue:
+            bank_idx = bank_of(request)
+            bank = banks[bank_idx]
+            if bank_idx in banks_with_pending_hits:
+                continue
+            if bank.ready(now) and bank.open_row != row_of(request):
+                return (ACTIVATE, request)
+        return None
+
+
+_SCHEDULERS = {
+    "fcfs": FCFSScheduler,
+    "frfcfs": FRFCFSScheduler,
+}
+
+
+def make_scheduler(name: str) -> DRAMScheduler:
+    """Instantiate a DRAM scheduling policy by name."""
+    try:
+        return _SCHEDULERS[name]()
+    except KeyError:
+        raise ConfigError(f"unknown DRAM scheduler {name!r}") from None

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by the simulator derive from
+:class:`ReproError` so callers can catch simulator-specific failures with a
+single ``except`` clause while letting genuine programming errors propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError):
+    """An architectural configuration is inconsistent or out of range.
+
+    Raised during config validation (e.g. a cache whose line size does not
+    divide its capacity, a queue with non-positive depth, or a scaling
+    request for an unknown design parameter).
+    """
+
+
+class SimulationError(ReproError):
+    """The simulator reached an invalid dynamic state.
+
+    Raised for protocol violations that indicate a bug rather than a
+    modelled condition: popping an empty queue, filling a line with no
+    matching MSHR entry, or exceeding the run's cycle limit.
+    """
+
+
+class CycleLimitExceeded(SimulationError):
+    """A simulation failed to finish within its ``max_cycles`` budget."""
+
+    def __init__(self, max_cycles: int, detail: str = "") -> None:
+        message = f"simulation exceeded the cycle limit of {max_cycles}"
+        if detail:
+            message = f"{message} ({detail})"
+        super().__init__(message)
+        self.max_cycles = max_cycles
+
+
+class WorkloadError(ReproError):
+    """A workload description is malformed or references unknown entities."""

@@ -1,0 +1,6 @@
+"""Interconnect: flit-based crossbars between SMs and memory partitions."""
+
+from repro.icnt.crossbar import Crossbar, PacketSink
+from repro.icnt.ring import RingNetwork
+
+__all__ = ["Crossbar", "PacketSink", "RingNetwork"]

@@ -1,0 +1,171 @@
+"""Flit-based crossbar.
+
+Two instances connect the SMs to the memory partitions: a *request* network
+(L1 miss queues -> L2 access queues) and a *response* network (L2 response
+queues -> L1 fill ports).  Each network port consists of
+``config.icnt.channel_lanes`` parallel links, each moving one flit of
+``config.icnt.flit_bytes`` per cycle — the Table I "Flit size (crossbar)"
+parameter is therefore the per-port bandwidth of the L1<->L2 path.  With
+the baseline 4-byte flit and 4 lanes, a 128-byte line response occupies a
+port for 9 cycles, making the response network a first-order bandwidth
+constraint (exactly the L1<->L2 congestion the paper characterizes).
+
+Switching is wormhole-like: once a packet wins an output, both its input
+and the output stay locked to it until the tail flit is delivered, and the
+tail flit is only sent when the destination can accept the packet — so a
+congested destination exerts back-pressure through the switch to the
+source queues.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.mem.queue import StatQueue
+from repro.mem.request import MemoryRequest
+from repro.sim.component import Component
+from repro.sim.config import GPUConfig
+
+
+@dataclass
+class PacketSink:
+    """Destination-port behaviour: admission test + delivery action."""
+
+    can_accept: Callable[[MemoryRequest], bool]
+    accept: Callable[[MemoryRequest, int], None]
+
+
+@dataclass
+class _Packet:
+    request: MemoryRequest
+    dest: int
+    flits_left: int
+
+
+class _InputPort:
+    def __init__(self, capacity_pkts: int) -> None:
+        self.fifo: deque[_Packet] = deque()
+        self.capacity = capacity_pkts
+        self.locked_to: int | None = None
+
+    @property
+    def has_room(self) -> bool:
+        return len(self.fifo) < self.capacity
+
+
+class Crossbar(Component):
+    """N-input x M-output crossbar moving one flit per port per cycle."""
+
+    def __init__(
+        self,
+        name: str,
+        config: GPUConfig,
+        sources: list[StatQueue[MemoryRequest]],
+        sinks: list[PacketSink],
+        route: Callable[[MemoryRequest], int],
+        flit_count: Callable[[MemoryRequest], int],
+        stamp_hop: str = "icnt",
+    ) -> None:
+        lanes = config.icnt.channel_lanes
+        self.name = name
+        self._sources = sources
+        self._sinks = sinks
+        self._route = route
+        self._flit_count = flit_count
+        #: Packet port-occupancy in cycles: ceil(flits / lanes).
+        self._cycles_of = lambda req: max(1, -(-flit_count(req) // lanes))
+        self._lanes = lanes
+        self._stamp_hop = stamp_hop
+        self._inputs = [
+            _InputPort(config.icnt.input_queue_pkts) for _ in sources
+        ]
+        #: Number of input ports holding at least one packet.
+        self._active_inputs = 0
+        #: Output -> input currently locked to it (None = free).
+        self._out_lock: list[int | None] = [None] * len(sinks)
+        self._rr: list[int] = [0] * len(sinks)
+        # --- statistics ---
+        self.flits_sent: int = 0
+        self.packets_delivered: int = 0
+        #: Output-port cycles wasted with a tail flit blocked by its sink.
+        self.delivery_blocked_cycles: int = 0
+        self.cycles: int = 0
+
+    # ------------------------------------------------------------------
+    def step(self, now: int) -> None:
+        self.cycles += 1
+        self._inject(now)
+        if self._active_inputs:
+            self._arbitrate_and_transfer(now)
+
+    def _inject(self, now: int) -> None:
+        """Move packets from source queues into input-port FIFOs."""
+        for src, port in zip(self._sources, self._inputs):
+            while port.has_room and not src.empty:
+                request = src.pop(now)
+                request.stamp(f"{self._stamp_hop}_in", now)
+                if not port.fifo:
+                    self._active_inputs += 1
+                port.fifo.append(
+                    _Packet(
+                        request=request,
+                        dest=self._route(request),
+                        flits_left=self._cycles_of(request),
+                    )
+                )
+
+    def _arbitrate_and_transfer(self, now: int) -> None:
+        n_inputs = len(self._inputs)
+        for out_idx, sink in enumerate(self._sinks):
+            in_idx = self._out_lock[out_idx]
+            if in_idx is None:
+                in_idx = self._grant(out_idx, n_inputs)
+                if in_idx is None:
+                    continue
+            port = self._inputs[in_idx]
+            packet = port.fifo[0]
+            if packet.flits_left > 1:
+                packet.flits_left -= 1
+                self.flits_sent += 1
+                continue
+            # Tail flit: deliver only if the sink can take the packet.
+            if not sink.can_accept(packet.request):
+                self.delivery_blocked_cycles += 1
+                continue
+            self.flits_sent += 1
+            self.packets_delivered += 1
+            packet.request.stamp(f"{self._stamp_hop}_out", now)
+            sink.accept(packet.request, now)
+            port.fifo.popleft()
+            if not port.fifo:
+                self._active_inputs -= 1
+            port.locked_to = None
+            self._out_lock[out_idx] = None
+
+    def _grant(self, out_idx: int, n_inputs: int) -> int | None:
+        """Round-robin pick of an unlocked input whose head targets out_idx."""
+        start = self._rr[out_idx]
+        for offset in range(n_inputs):
+            in_idx = (start + offset) % n_inputs
+            port = self._inputs[in_idx]
+            if port.locked_to is not None or not port.fifo:
+                continue
+            if port.fifo[0].dest != out_idx:
+                continue
+            port.locked_to = out_idx
+            self._out_lock[out_idx] = in_idx
+            self._rr[out_idx] = (in_idx + 1) % n_inputs
+            return in_idx
+        return None
+
+    # ------------------------------------------------------------------
+    def is_idle(self) -> bool:
+        return all(not port.fifo for port in self._inputs)
+
+    @property
+    def utilization(self) -> float:
+        """Flits moved per output-port cycle (0..1 per port on average)."""
+        total_port_cycles = self.cycles * len(self._sinks)
+        return self.flits_sent / total_port_cycles if total_port_cycles else 0.0

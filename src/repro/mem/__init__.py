@@ -1,0 +1,13 @@
+"""Memory-system primitives: requests, instrumented queues, delay pipes."""
+
+from repro.mem.request import AccessKind, MemoryRequest, RequestFactory
+from repro.mem.queue import StatQueue
+from repro.mem.pipe import DelayPipe
+
+__all__ = [
+    "AccessKind",
+    "MemoryRequest",
+    "RequestFactory",
+    "StatQueue",
+    "DelayPipe",
+]

@@ -1,0 +1,52 @@
+"""Address mapping across partitions, L2 banks and DRAM banks/rows.
+
+All mapping operates on *line indices* (byte address / line size).  Lines
+are interleaved across memory partitions at line granularity, matching
+GPGPU-Sim's default: consecutive lines hit different partitions, spreading
+bandwidth demand.  Within a partition the *local* line index is laid out as
+
+    [ row | dram bank | column ]
+
+so a streaming access pattern produces runs of row-buffer hits on one bank
+before moving to the next bank, while the L2 bank is taken from the low
+local bits so consecutive local lines alternate L2 banks.
+"""
+
+from __future__ import annotations
+
+from repro.sim.config import GPUConfig
+
+
+class AddressMapper:
+    """Precomputed masks/shifts for the partition/bank/row mapping."""
+
+    def __init__(self, config: GPUConfig) -> None:
+        self.n_partitions = config.n_partitions
+        self._part_mask = config.n_partitions - 1
+        self.l2_banks = config.l2.banks
+        self._l2_bank_mask = config.l2.banks - 1
+        self.dram_banks = config.dram.banks
+        self._dram_bank_mask = config.dram.banks - 1
+        self.row_lines = config.dram.row_bytes // config.line_bytes
+        self._row_shift = self.row_lines.bit_length() - 1
+
+    def partition(self, line: int) -> int:
+        """Memory partition servicing ``line``."""
+        return line & self._part_mask
+
+    def local_line(self, line: int) -> int:
+        """Line index within its partition's local address space."""
+        return line >> (self._part_mask.bit_length())
+
+    def l2_bank(self, line: int) -> int:
+        """L2 bank within the partition."""
+        return self.local_line(line) & self._l2_bank_mask
+
+    def dram_bank(self, line: int) -> int:
+        """DRAM bank within the partition's channel."""
+        return (self.local_line(line) >> self._row_shift) & self._dram_bank_mask
+
+    def dram_row(self, line: int) -> int:
+        """DRAM row within the bank."""
+        local = self.local_line(line)
+        return local >> (self._row_shift + self._dram_bank_mask.bit_length())

@@ -1,0 +1,65 @@
+"""Fixed-latency delay pipes.
+
+A :class:`DelayPipe` models a fully-pipelined fixed-latency structure with
+unbounded width: items inserted at cycle ``t`` become ready at ``t + L``.
+It is used for cache hit/fill latencies, the L2 bank pipelines, and the
+Figure 1 magic-memory responder.  Because the heap is keyed by ready time,
+idle pipes cost one comparison per cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Generic, TypeVar
+
+from repro.errors import ConfigError
+
+T = TypeVar("T")
+
+
+class DelayPipe(Generic[T]):
+    """Unbounded fixed-latency pipeline."""
+
+    def __init__(self, name: str, latency: int) -> None:
+        if latency < 0:
+            raise ConfigError(f"pipe {name!r} latency must be >= 0")
+        self.name = name
+        self.latency = latency
+        self._heap: list[tuple[int, int, T]] = []
+        self._tiebreak = itertools.count()
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    @property
+    def empty(self) -> bool:
+        return not self._heap
+
+    def insert(self, item: T, now: int, extra_delay: int = 0) -> None:
+        """Insert ``item``; it becomes ready at ``now + latency + extra``."""
+        ready = now + self.latency + extra_delay
+        heapq.heappush(self._heap, (ready, next(self._tiebreak), item))
+
+    def insert_at(self, item: T, ready_cycle: int) -> None:
+        """Insert ``item`` with an absolute ready time."""
+        heapq.heappush(self._heap, (ready_cycle, next(self._tiebreak), item))
+
+    def ready(self, now: int) -> bool:
+        """Whether the head item is ready at cycle ``now``."""
+        return bool(self._heap) and self._heap[0][0] <= now
+
+    def peek(self) -> T:
+        """The head item (raises IndexError when empty)."""
+        return self._heap[0][2]
+
+    def pop(self) -> T:
+        """Remove and return the head item (caller checked :meth:`ready`)."""
+        return heapq.heappop(self._heap)[2]
+
+    def drain_ready(self, now: int) -> list[T]:
+        """Pop every item ready at ``now``, in insertion-ready order."""
+        out: list[T] = []
+        while self._heap and self._heap[0][0] <= now:
+            out.append(heapq.heappop(self._heap)[2])
+        return out

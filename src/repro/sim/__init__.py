@@ -1,0 +1,29 @@
+"""Cycle-level simulation kernel: components, clocks, engine, configuration."""
+
+from repro.sim.component import Component
+from repro.sim.clock import ClockDomain
+from repro.sim.engine import Simulator
+from repro.sim.config import (
+    CoreConfig,
+    DRAMConfig,
+    GPUConfig,
+    ICNTConfig,
+    L1Config,
+    L2Config,
+    fermi_gtx480,
+    small_gpu,
+)
+
+__all__ = [
+    "Component",
+    "ClockDomain",
+    "Simulator",
+    "CoreConfig",
+    "DRAMConfig",
+    "GPUConfig",
+    "ICNTConfig",
+    "L1Config",
+    "L2Config",
+    "fermi_gtx480",
+    "small_gpu",
+]

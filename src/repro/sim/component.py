@@ -1,0 +1,33 @@
+"""Component protocol for the cycle-driven simulator.
+
+A component is anything stepped once per (its clock domain's) cycle.  The
+engine calls :meth:`Component.step` with the current core-clock cycle; the
+component performs one cycle of work — popping input queues, advancing
+pipelines, pushing output queues — and returns.  Back-pressure is expressed
+purely through finite queues: a component that cannot push its output simply
+leaves the item where it is and retries on a later cycle.
+
+Components also expose :meth:`finalize` (close open statistics intervals)
+and :meth:`is_idle` (used by the engine to detect global quiescence and by
+tests to assert drained state).
+"""
+
+from __future__ import annotations
+
+
+class Component:
+    """Base class for simulated hardware components."""
+
+    #: Name used in statistics reports; subclasses should override.
+    name: str = "component"
+
+    def step(self, now: int) -> None:
+        """Advance the component by one cycle (core-clock cycle ``now``)."""
+        raise NotImplementedError
+
+    def finalize(self, now: int) -> None:
+        """Close any open measurement intervals at end of simulation."""
+
+    def is_idle(self) -> bool:
+        """True when the component holds no in-flight work."""
+        return True

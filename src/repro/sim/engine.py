@@ -1,0 +1,109 @@
+"""The cycle-driven simulation engine.
+
+The engine owns an ordered list of components and advances them one cycle at
+a time.  Component order within a cycle is fixed at registration time; the
+GPU model registers components front-to-back (cores, interconnect, memory
+partitions) so requests can traverse at most one hop per cycle in the
+forward direction while responses ride the same discipline backwards — the
+same one-hop-per-cycle contract GPGPU-Sim's queue-based model provides.
+
+Termination is delegated to a ``done`` predicate (usually "all warps
+retired") guarded by ``max_cycles``; exceeding the guard raises
+:class:`~repro.errors.CycleLimitExceeded` so mis-calibrated experiments fail
+loudly instead of spinning.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.errors import CycleLimitExceeded, SimulationError
+from repro.sim.clock import CORE_CLOCK, ClockDomain
+from repro.sim.component import Component
+
+
+class Simulator:
+    """Owns the clock and the ordered component list."""
+
+    def __init__(self) -> None:
+        self.cycle: int = 0
+        self._entries: list[tuple[Component, ClockDomain]] = []
+        self._finalized = False
+        self._fast_steps: list | None = None
+        self._slow_entries: list[tuple[Component, ClockDomain]] | None = None
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def add(
+        self, component: Component, clock: ClockDomain = CORE_CLOCK
+    ) -> Component:
+        """Register ``component`` on ``clock``; returns the component."""
+        self._entries.append((component, clock))
+        self._fast_steps = None
+        self._slow_entries = None
+        return component
+
+    @property
+    def components(self) -> list[Component]:
+        """Registered components in step order."""
+        return [c for c, _ in self._entries]
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the simulation by one core cycle."""
+        now = self.cycle
+        if self._slow_entries is None:
+            self._fast_steps = [
+                c.step for c, clk in self._entries if clk.period == 1
+            ]
+            self._slow_entries = [
+                (c, clk) for c, clk in self._entries if clk.period != 1
+            ]
+        if self._slow_entries:
+            for component, clock in self._entries:
+                if clock.period == 1 or clock.ticks(now):
+                    component.step(now)
+        else:
+            for step in self._fast_steps:
+                step(now)
+        self.cycle = now + 1
+
+    def run(
+        self,
+        done: Callable[[], bool],
+        max_cycles: int = 10_000_000,
+        drain: bool = True,
+    ) -> int:
+        """Run until ``done()`` is true; returns the final cycle count.
+
+        With ``drain`` (the default) the run continues past ``done()`` until
+        every component reports idle, so in-flight requests (e.g. stores
+        still percolating to DRAM) finish and statistics intervals close at
+        their true ends.  Raises :class:`CycleLimitExceeded` if the budget
+        runs out first.
+        """
+        if self._finalized:
+            raise SimulationError("simulator already finalized; build a new one")
+        while not done():
+            if self.cycle >= max_cycles:
+                raise CycleLimitExceeded(max_cycles, "done() never satisfied")
+            self.step()
+        finished_at = self.cycle
+        if drain:
+            while not all(c.is_idle() for c, _ in self._entries):
+                if self.cycle >= max_cycles:
+                    raise CycleLimitExceeded(max_cycles, "drain never completed")
+                self.step()
+        self.finalize()
+        return finished_at
+
+    def finalize(self) -> None:
+        """Close statistics intervals on every component (idempotent)."""
+        if self._finalized:
+            return
+        for component, _ in self._entries:
+            component.finalize(self.cycle)
+        self._finalized = True

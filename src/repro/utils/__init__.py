@@ -1,0 +1,18 @@
+"""General-purpose utilities: statistics accumulators, means, tables, plots."""
+
+from repro.utils.means import arithmetic_mean, geometric_mean, harmonic_mean
+from repro.utils.stats import Accumulator, Histogram, IntervalTracker, RatioStat
+from repro.utils.tables import render_table
+from repro.utils.ascii_plot import line_plot
+
+__all__ = [
+    "Accumulator",
+    "Histogram",
+    "IntervalTracker",
+    "RatioStat",
+    "arithmetic_mean",
+    "geometric_mean",
+    "harmonic_mean",
+    "render_table",
+    "line_plot",
+]

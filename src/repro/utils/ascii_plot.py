@@ -1,0 +1,60 @@
+"""Minimal ASCII line plots.
+
+Used to render Figure 1 (the latency-tolerance profile) in terminal output
+and EXPERIMENTS.md without a plotting dependency.  Each series is drawn with
+its own marker character on a shared canvas; later series overwrite earlier
+ones where they collide, which is acceptable for the qualitative shape
+comparisons these plots support.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+
+
+def line_plot(
+    series: Mapping[str, Sequence[tuple[float, float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render ``series`` (name -> [(x, y), ...]) as an ASCII plot.
+
+    Markers are assigned per series in declaration order.  Returns the plot
+    as a single string including a legend and axis ranges.
+    """
+    if not series:
+        raise ValueError("line_plot requires at least one series")
+    markers = "*o+x#@%&$~^=1234567890"
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        raise ValueError("line_plot requires at least one data point")
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    x_span = (x_max - x_min) or 1.0
+    y_span = (y_max - y_min) or 1.0
+
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for idx, (name, pts) in enumerate(series.items()):
+        marker = markers[idx % len(markers)]
+        legend.append(f"{marker} {name}")
+        for x, y in pts:
+            col = round((x - x_min) / x_span * (width - 1))
+            row = height - 1 - round((y - y_min) / y_span * (height - 1))
+            canvas[row][col] = marker
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"y: {y_label}  [{y_min:.2f} .. {y_max:.2f}]")
+    for row in canvas:
+        lines.append("|" + "".join(row))
+    lines.append("+" + "-" * width)
+    lines.append(f"x: {x_label}  [{x_min:.2f} .. {x_max:.2f}]")
+    lines.append("legend: " + "   ".join(legend))
+    return "\n".join(lines)

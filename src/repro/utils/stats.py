@@ -1,0 +1,202 @@
+"""Statistics accumulators used throughout the simulator.
+
+Four small instruments cover every measurement in the paper:
+
+* :class:`Accumulator` — running sum / count / min / max, used for latencies
+  and occupancies.
+* :class:`RatioStat` — a named numerator/denominator pair (hit rates, row
+  buffer locality, issue utilization).
+* :class:`IntervalTracker` — tracks how many cycles a boolean condition held,
+  *without* per-cycle sampling.  This is the instrument behind the paper's
+  Section III numbers ("L2 access queues are full for 46% of their usage
+  lifetime"): a queue reports its full/non-empty transitions and the tracker
+  integrates the durations.
+* :class:`Histogram` — bucketed distribution with percentile queries, used
+  for latency tails (a congested memory system shows a long tail well
+  before the mean moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Accumulator:
+    """Running scalar statistics (sum, count, min, max)."""
+
+    name: str = ""
+    total: float = 0.0
+    count: int = 0
+    minimum: float = field(default=float("inf"))
+    maximum: float = field(default=float("-inf"))
+
+    def add(self, value: float, weight: int = 1) -> None:
+        """Record ``value`` (``weight`` times, without re-scaling min/max)."""
+        self.total += value * weight
+        self.count += weight
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Average of recorded values; 0.0 when nothing was recorded."""
+        return self.total / self.count if self.count else 0.0
+
+    def merge(self, other: "Accumulator") -> None:
+        """Fold another accumulator's observations into this one."""
+        self.total += other.total
+        self.count += other.count
+        self.minimum = min(self.minimum, other.minimum)
+        self.maximum = max(self.maximum, other.maximum)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Accumulator({self.name!r}, mean={self.mean:.3f}, "
+            f"count={self.count})"
+        )
+
+
+@dataclass
+class RatioStat:
+    """A named numerator / denominator pair, e.g. hits / accesses."""
+
+    name: str = ""
+    numerator: int = 0
+    denominator: int = 0
+
+    def hit(self, n: int = 1) -> None:
+        """Count ``n`` events in both numerator and denominator."""
+        self.numerator += n
+        self.denominator += n
+
+    def miss(self, n: int = 1) -> None:
+        """Count ``n`` events in the denominator only."""
+        self.denominator += n
+
+    @property
+    def ratio(self) -> float:
+        """numerator / denominator; 0.0 when the denominator is zero."""
+        return self.numerator / self.denominator if self.denominator else 0.0
+
+    def merge(self, other: "RatioStat") -> None:
+        self.numerator += other.numerator
+        self.denominator += other.denominator
+
+
+class IntervalTracker:
+    """Integrates the duration for which a boolean condition holds.
+
+    The owner calls :meth:`update` whenever the condition *may* have changed,
+    passing the current cycle; the tracker accumulates elapsed time while the
+    condition was previously true.  :meth:`finalize` closes the open interval
+    at the end of a run.  This event-driven design avoids sampling every
+    queue on every cycle, which would dominate simulation time.
+    """
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._active_since: int | None = None
+        self._accumulated: int = 0
+
+    def update(self, now: int, condition: bool) -> None:
+        """Report the condition's value at cycle ``now``.
+
+        Transitions are detected internally; calling with an unchanged
+        condition is harmless (and cheap).
+        """
+        if condition:
+            if self._active_since is None:
+                self._active_since = now
+        else:
+            if self._active_since is not None:
+                self._accumulated += now - self._active_since
+                self._active_since = None
+
+    def finalize(self, now: int) -> None:
+        """Close any open interval at cycle ``now`` (end of simulation)."""
+        if self._active_since is not None:
+            self._accumulated += now - self._active_since
+            self._active_since = None
+
+    @property
+    def active(self) -> bool:
+        """Whether the condition is currently held open."""
+        return self._active_since is not None
+
+    def total(self, now: int | None = None) -> int:
+        """Total cycles the condition has held.
+
+        When ``now`` is given, an open interval is counted up to ``now``
+        without closing it.
+        """
+        extra = 0
+        if self._active_since is not None and now is not None:
+            extra = now - self._active_since
+        return self._accumulated + extra
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"IntervalTracker({self.name!r}, total={self._accumulated})"
+
+
+class Histogram:
+    """Bucketed distribution of non-negative integers (e.g. latencies).
+
+    Values are grouped into fixed-width buckets; percentiles interpolate
+    within the matched bucket, which is accurate to the bucket width —
+    plenty for latency-tail characterization at ``bucket_width`` ~ a few
+    cycles.
+    """
+
+    def __init__(self, name: str = "", bucket_width: int = 8) -> None:
+        if bucket_width < 1:
+            raise ValueError("bucket width must be >= 1")
+        self.name = name
+        self.bucket_width = bucket_width
+        self._buckets: dict[int, int] = {}
+        self.count = 0
+        self.total = 0
+
+    def add(self, value: int) -> None:
+        if value < 0:
+            raise ValueError(f"histogram value must be >= 0, got {value}")
+        self._buckets[value // self.bucket_width] = (
+            self._buckets.get(value // self.bucket_width, 0) + 1
+        )
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1] (bucket-width resolution)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for bucket in sorted(self._buckets):
+            in_bucket = self._buckets[bucket]
+            if seen + in_bucket >= target:
+                # Linear interpolation within the bucket.
+                frac = (target - seen) / in_bucket
+                return (bucket + frac) * self.bucket_width
+            seen += in_bucket
+        last = max(self._buckets)
+        return (last + 1) * self.bucket_width
+
+    def merge(self, other: "Histogram") -> None:
+        if other.bucket_width != self.bucket_width:
+            raise ValueError("cannot merge histograms with different widths")
+        for bucket, count in other._buckets.items():
+            self._buckets[bucket] = self._buckets.get(bucket, 0) + count
+        self.count += other.count
+        self.total += other.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Histogram({self.name!r}, n={self.count}, mean={self.mean:.1f})"

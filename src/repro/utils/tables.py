@@ -1,0 +1,73 @@
+"""Plain-text table rendering for reports and benchmark output.
+
+The characterization reports (Table I, the Section IV speedup summaries,
+EXPERIMENTS.md extracts) are rendered as monospace tables so they can be
+printed from benchmarks and pasted into documentation unchanged.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+
+def _stringify(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    align: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an ASCII table.
+
+    Parameters
+    ----------
+    headers:
+        Column titles.
+    rows:
+        Iterable of row sequences; each cell is stringified (floats get three
+        decimal places).
+    title:
+        Optional title printed above the table.
+    align:
+        Optional per-column alignment string of ``'l'``/``'r'`` characters;
+        defaults to left for the first column and right for the rest.
+    """
+    header_cells = [str(h) for h in headers]
+    body = [[_stringify(c) for c in row] for row in rows]
+    n_cols = len(header_cells)
+    for row in body:
+        if len(row) != n_cols:
+            raise ValueError(
+                f"row has {len(row)} cells but table has {n_cols} columns"
+            )
+    if align is None:
+        align = "l" + "r" * (n_cols - 1)
+    if len(align) != n_cols or any(a not in "lr" for a in align):
+        raise ValueError(f"bad align spec {align!r} for {n_cols} columns")
+
+    widths = [len(h) for h in header_cells]
+    for row in body:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        parts = []
+        for cell, width, a in zip(cells, widths, align):
+            parts.append(cell.ljust(width) if a == "l" else cell.rjust(width))
+        return "| " + " | ".join(parts) + " |"
+
+    separator = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(separator)
+    lines.append(fmt_row(header_cells))
+    lines.append(separator)
+    lines.extend(fmt_row(row) for row in body)
+    lines.append(separator)
+    return "\n".join(lines)

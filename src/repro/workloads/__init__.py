@@ -1,0 +1,26 @@
+"""Workloads: kernel programs, address patterns, and the paper's benchmark suite."""
+
+from repro.workloads.program import KernelProgram
+from repro.workloads.synthetic import SyntheticKernelSpec, build_kernel
+from repro.workloads.suite import BENCHMARKS, PAPER_SUITE, get_benchmark
+from repro.workloads.trace import (
+    load_trace,
+    parse_trace,
+    record_program,
+    save_trace,
+    trace_kernel,
+)
+
+__all__ = [
+    "KernelProgram",
+    "SyntheticKernelSpec",
+    "build_kernel",
+    "BENCHMARKS",
+    "PAPER_SUITE",
+    "get_benchmark",
+    "load_trace",
+    "parse_trace",
+    "record_program",
+    "save_trace",
+    "trace_kernel",
+]

@@ -1,0 +1,67 @@
+"""Address-pattern generators.
+
+Each generator yields cache-line indices.  Patterns are the vocabulary the
+synthetic benchmark models are written in; they control the three
+properties that determine where a workload's bandwidth bottleneck sits:
+
+* **L1 locality** — how soon a warp revisits a line (tile reuse);
+* **L2 locality** — how much of the footprint is shared across warps/SMs
+  and whether it fits the shared L2;
+* **DRAM row locality** — whether consecutive misses stream through rows
+  (row-buffer hits) or scatter (row conflicts).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Iterator
+
+
+def stream(base: int, start: int, length: int) -> Iterator[int]:
+    """Sequential lines ``base+start .. base+start+length-1`` (no wrap:
+    callers size streams explicitly)."""
+    return iter(range(base + start, base + start + length))
+
+
+def strided(base: int, start: int, stride: int, count: int) -> Iterator[int]:
+    """``count`` lines spaced ``stride`` apart."""
+    return iter(range(base + start, base + start + stride * count, stride))
+
+
+def uniform_random(
+    rng: random.Random, base: int, span: int, count: int
+) -> Iterator[int]:
+    """``count`` lines uniformly random within ``[base, base+span)``."""
+    return (base + rng.randrange(span) for _ in range(count))
+
+
+def hot_cold(
+    rng: random.Random,
+    base: int,
+    hot_span: int,
+    cold_span: int,
+    p_hot: float,
+    count: int,
+) -> Iterator[int]:
+    """Mixture: probability ``p_hot`` from a hot region, else cold region.
+
+    The hot region starts at ``base``; the cold region follows it.
+    """
+    def gen() -> Iterator[int]:
+        for _ in range(count):
+            if rng.random() < p_hot:
+                yield base + rng.randrange(hot_span)
+            else:
+                yield base + hot_span + rng.randrange(cold_span)
+
+    return gen()
+
+
+def coalesced_group(first_line: int, n_txns: int, spread: int = 1) -> list[int]:
+    """The transaction list of one warp-wide access.
+
+    ``n_txns == 1`` models a perfectly coalesced access; larger values
+    model divergent accesses touching ``n_txns`` distinct lines spaced
+    ``spread`` apart.
+    """
+    return [first_line + i * spread for i in range(n_txns)]

@@ -1,0 +1,50 @@
+"""Kernel program abstraction.
+
+A :class:`KernelProgram` supplies one instruction iterator per warp (see
+:mod:`repro.cores.warp` for the instruction set) plus the execution
+parameters the kernel wants from the core (warps per SM, MLP limit, warp
+scheduler).  The GPU builder instantiates one iterator per (SM, warp) pair
+with a deterministic per-warp random seed, so runs are exactly repeatable.
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Callable, Iterator
+from dataclasses import dataclass
+
+from repro.cores.warp import Instruction
+from repro.errors import WorkloadError
+
+#: (sm_id, warp_id, rng) -> instruction iterator
+WarpProgramFactory = Callable[[int, int, random.Random], Iterator[Instruction]]
+
+
+@dataclass(frozen=True)
+class KernelProgram:
+    """A complete kernel description consumable by :class:`repro.gpu.GPU`."""
+
+    name: str
+    make_warp_program: WarpProgramFactory
+    #: Per-warp limit on outstanding load instructions.
+    mlp_limit: int = 4
+    #: Override the config's warps per SM (None = use config).
+    warps_per_sm: int | None = None
+    #: Override the config's warp scheduler (None = use config).
+    scheduler: str | None = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.mlp_limit < 1:
+            raise WorkloadError(f"kernel {self.name!r}: mlp_limit must be >= 1")
+        if self.warps_per_sm is not None and self.warps_per_sm < 1:
+            raise WorkloadError(
+                f"kernel {self.name!r}: warps_per_sm must be >= 1"
+            )
+
+    def instantiate(
+        self, sm_id: int, warp_id: int, seed: int
+    ) -> Iterator[Instruction]:
+        """Create the instruction iterator for one warp."""
+        rng = random.Random((seed * 1_000_003 + sm_id * 1009 + warp_id) & 0xFFFFFFFF)
+        return self.make_warp_program(sm_id, warp_id, rng)

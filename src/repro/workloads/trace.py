@@ -1,0 +1,171 @@
+"""Memory-trace recording and replay.
+
+Two complementary uses:
+
+* **Record** — capture the instruction stream the synthetic generators
+  produce (or any :class:`~repro.workloads.program.KernelProgram`) into a
+  plain-text trace file, one warp per section.  Recorded traces make runs
+  exactly reproducible across library versions and are diffable artifacts
+  for regression review.
+* **Replay** — build a :class:`KernelProgram` from a trace file, or from
+  lane-level address traces via the coalescer.  This is the entry point
+  for driving the simulator with externally produced traces (e.g.
+  converted from a real profiler's output).
+
+Trace format (text, line oriented)::
+
+    # comment
+    warp <sm_id> <warp_id>
+    c <n>              # compute n
+    l <line> [line...] # load transactions (line indices, hex or dec)
+    s <line> [line...] # store transactions
+    m                  # membar
+
+Warp sections may appear in any order; a warp absent from the trace gets
+an empty program.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterator, Sequence
+from pathlib import Path
+
+from repro.cores.coalescer import Coalescer
+from repro.cores.warp import Instruction
+from repro.errors import WorkloadError
+from repro.workloads.program import KernelProgram
+
+
+def _parse_int(token: str) -> int:
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+# ----------------------------------------------------------------------
+# writing
+# ----------------------------------------------------------------------
+def record_program(
+    kernel: KernelProgram,
+    n_sms: int,
+    warps_per_sm: int,
+    seed: int = 1,
+) -> str:
+    """Render every warp's instruction stream as a trace text."""
+    out = io.StringIO()
+    out.write(f"# trace of kernel {kernel.name!r} (seed {seed})\n")
+    for sm_id in range(n_sms):
+        for warp_id in range(warps_per_sm):
+            out.write(f"warp {sm_id} {warp_id}\n")
+            for instr in kernel.instantiate(sm_id, warp_id, seed):
+                op = instr[0]
+                if op == "compute":
+                    out.write(f"c {instr[1]}\n")
+                elif op == "load":
+                    out.write("l " + " ".join(map(str, instr[1])) + "\n")
+                elif op == "store":
+                    out.write("s " + " ".join(map(str, instr[1])) + "\n")
+                elif op == "membar":
+                    out.write("m\n")
+                else:  # pragma: no cover - guarded by warp validation
+                    raise WorkloadError(f"unknown op {op!r}")
+    return out.getvalue()
+
+
+def save_trace(path: str | Path, text: str) -> None:
+    """Write a trace text to disk."""
+    Path(path).write_text(text)
+
+
+# ----------------------------------------------------------------------
+# reading
+# ----------------------------------------------------------------------
+def parse_trace(text: str) -> dict[tuple[int, int], list[Instruction]]:
+    """Parse a trace text into {(sm_id, warp_id): [instruction, ...]}."""
+    programs: dict[tuple[int, int], list[Instruction]] = {}
+    current: list[Instruction] | None = None
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        fields = line.split()
+        op, args = fields[0], fields[1:]
+        try:
+            if op == "warp":
+                key = (_parse_int(args[0]), _parse_int(args[1]))
+                current = programs.setdefault(key, [])
+            elif op == "c":
+                current.append(("compute", _parse_int(args[0])))
+            elif op == "l":
+                current.append(("load", [_parse_int(a) for a in args]))
+            elif op == "s":
+                current.append(("store", [_parse_int(a) for a in args]))
+            elif op == "m":
+                current.append(("membar",))
+            else:
+                raise WorkloadError(f"line {lineno}: unknown op {op!r}")
+        except WorkloadError:
+            raise
+        except (AttributeError, TypeError):
+            raise WorkloadError(
+                f"line {lineno}: instruction before any 'warp' header"
+            ) from None
+        except (IndexError, ValueError):
+            raise WorkloadError(f"line {lineno}: malformed {raw!r}") from None
+    return programs
+
+
+def load_trace(path: str | Path) -> dict[tuple[int, int], list[Instruction]]:
+    """Parse a trace file."""
+    return parse_trace(Path(path).read_text())
+
+
+def trace_kernel(
+    programs: dict[tuple[int, int], list[Instruction]],
+    name: str = "trace",
+    mlp_limit: int = 4,
+    warps_per_sm: int | None = None,
+    scheduler: str | None = None,
+) -> KernelProgram:
+    """Wrap parsed trace programs as a replayable :class:`KernelProgram`."""
+
+    def factory(sm_id: int, warp_id: int, _rng) -> Iterator[Instruction]:
+        return iter(programs.get((sm_id, warp_id), []))
+
+    return KernelProgram(
+        name=name,
+        make_warp_program=factory,
+        mlp_limit=mlp_limit,
+        warps_per_sm=warps_per_sm,
+        scheduler=scheduler,
+        description="replayed memory trace",
+    )
+
+
+# ----------------------------------------------------------------------
+# lane-level traces
+# ----------------------------------------------------------------------
+def coalesce_lane_trace(
+    accesses: Sequence[tuple[str, Sequence[int | None]]],
+    line_bytes: int,
+    compute_between: int = 0,
+) -> tuple[list[Instruction], "Coalescer"]:
+    """Convert a lane-address trace into an instruction list.
+
+    ``accesses`` is a sequence of ("load"|"store", [lane addresses]) pairs;
+    each is coalesced into line transactions.  ``compute_between`` inserts
+    arithmetic work between memory accesses.  Returns the instruction list
+    plus the coalescer (whose statistics describe the trace's coalescing
+    degree).
+    """
+    coalescer = Coalescer(line_bytes)
+    instructions: list[Instruction] = []
+    for kind, lanes in accesses:
+        if kind not in ("load", "store"):
+            raise WorkloadError(f"bad access kind {kind!r}")
+        lines = coalescer.access(lanes)
+        if not lines:
+            continue  # fully masked-off access
+        if compute_between:
+            instructions.append(("compute", compute_between))
+        instructions.append((kind, lines))
+    return instructions, coalescer

@@ -1,0 +1,97 @@
+"""Bottleneck classifier tests."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.bottleneck import (
+    Bottleneck,
+    classify,
+    diagnose_suite,
+    peak_issue_rate,
+    render_diagnoses,
+)
+from repro.core.metrics import QueueMetrics, RunMetrics
+from repro.sim.config import tiny_gpu
+
+
+def metrics(**overrides):
+    """A RunMetrics with calm defaults, selectively overridden."""
+    calm = QueueMetrics(0.0, 0.0, 0, 0)
+    base = dict(
+        benchmark="x", cycles=1000, instructions=1000, ipc=1.0,
+        l1_hit_rate=0.5, l1_avg_miss_latency=150.0,
+        l1_p50_miss_latency=140.0, l1_p95_miss_latency=300.0,
+        l1_miss_count=100,
+        l1_mshr_stall_cycles=0, l1_missq=calm,
+        req_xbar_utilization=0.1, resp_xbar_utilization=0.1,
+        resp_xbar_blocked_cycles=0,
+        l2_hit_rate=0.5, l2_accessq=calm, l2_missq=calm, l2_respq=calm,
+        l2_mshr_full_fraction=0.0, l2_reservation_fails=0, l2_writebacks=0,
+        dram_schedq=calm, dram_row_hit_rate=0.5, dram_bus_utilization=0.1,
+        dram_reads=100, dram_writes=0,
+        mem_pipeline_stall_cycles=0, no_ready_warp_fraction=0.1,
+    )
+    base.update(overrides)
+    return RunMetrics(**base)
+
+
+def full(fraction):
+    return QueueMetrics(fraction, 0.9, 100, 1000)
+
+
+class TestClassify:
+    def test_compute_bound(self):
+        d = classify(metrics(ipc=3.5), peak_ipc=4.0)
+        assert d.bottleneck is Bottleneck.COMPUTE
+
+    def test_dram_bound(self):
+        d = classify(
+            metrics(ipc=0.5, dram_schedq=full(0.8), dram_bus_utilization=0.9),
+            peak_ipc=4.0)
+        assert d.bottleneck is Bottleneck.DRAM_BANDWIDTH
+
+    def test_cache_hierarchy_bound(self):
+        d = classify(
+            metrics(ipc=0.5, l2_accessq=full(0.5), l2_respq=full(0.7)),
+            peak_ipc=4.0)
+        assert d.bottleneck is Bottleneck.L1_L2_BANDWIDTH
+
+    def test_latency_bound(self):
+        d = classify(
+            metrics(ipc=0.8, no_ready_warp_fraction=0.8,
+                    l1_avg_miss_latency=200.0),
+            peak_ipc=4.0)
+        assert d.bottleneck is Bottleneck.LATENCY
+
+    def test_dram_wins_tie_against_weaker_cache_pressure(self):
+        d = classify(
+            metrics(ipc=0.5, dram_schedq=full(0.7), l2_accessq=full(0.5)),
+            peak_ipc=4.0)
+        assert d.bottleneck is Bottleneck.DRAM_BANDWIDTH
+
+    def test_evidence_carried(self):
+        d = classify(metrics(ipc=2.0), peak_ipc=4.0)
+        assert d.evidence["ipc_fraction"] == pytest.approx(0.5)
+        assert "describe" and "x" in d.describe()
+
+
+class TestSuiteDiagnosis:
+    def test_diagnose_runs_and_renders(self):
+        diagnoses = diagnose_suite(
+            tiny_gpu(), benchmarks=("leukocyte", "nn"), iteration_scale=0.15)
+        assert len(diagnoses) == 2
+        text = render_diagnoses(diagnoses)
+        assert "leukocyte" in text and "nn" in text
+
+    def test_compute_bound_benchmark_classified_compute(self):
+        (d,) = diagnose_suite(
+            tiny_gpu(), benchmarks=("leukocyte",), iteration_scale=0.2)
+        assert d.bottleneck is Bottleneck.COMPUTE
+
+    def test_peak_issue_rate(self):
+        cfg = tiny_gpu()
+        assert peak_issue_rate(cfg) == cfg.core.n_sms * cfg.core.issue_width
+        bigger = dataclasses.replace(
+            cfg, core=dataclasses.replace(cfg.core, issue_width=4))
+        assert peak_issue_rate(bigger) == 2 * peak_issue_rate(cfg)

@@ -1,0 +1,109 @@
+"""CLI smoke tests (tiny config, heavily scaled down)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_benchmark_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "nn"])
+        assert args.config == "small"
+        assert args.scale == 1.0
+
+
+class TestCommands:
+    def test_suite(self, capsys):
+        assert main(["suite"]) == 0
+        out = capsys.readouterr().out
+        assert "lbm" in out and "leukocyte" in out
+
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Flit size (crossbar)" in out
+        assert "Memory pipeline width" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "nn", "--config", "tiny", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out and "L2 accessQ full" in out
+
+    def test_run_magic(self, capsys):
+        assert main([
+            "run", "nn", "--config", "tiny", "--scale", "0.1",
+            "--magic-latency", "100",
+        ]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_congestion(self, capsys):
+        assert main([
+            "congestion", "--config", "tiny", "--scale", "0.1",
+            "--benchmarks", "nn", "leukocyte",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Section III" in out
+
+    def test_latency_profile(self, capsys):
+        assert main([
+            "latency-profile", "--config", "tiny", "--scale", "0.1",
+            "--benchmarks", "nn", "--latencies", "0", "300",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Fig. 1" in out
+
+    def test_explore(self, capsys):
+        assert main([
+            "explore", "--config", "tiny", "--scale", "0.1",
+            "--benchmarks", "nn",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Speedup over baseline" in out
+
+
+class TestAnalysisCommands:
+    def test_diagnose(self, capsys):
+        assert main([
+            "diagnose", "--config", "tiny", "--scale", "0.1",
+            "--benchmarks", "leukocyte",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Bottleneck classification" in out
+
+    def test_breakdown(self, capsys):
+        assert main([
+            "breakdown", "nn", "--config", "tiny", "--scale", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Latency breakdown" in out
+        assert "congestion share" in out
+
+    def test_replicate(self, capsys):
+        assert main([
+            "replicate", "nn", "--config", "tiny", "--scale", "0.1",
+            "--seeds", "1", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Replication" in out and "CV" in out
+
+    def test_export(self, capsys, tmp_path):
+        target = tmp_path / "out.csv"
+        assert main([
+            "export", str(target), "--config", "tiny", "--scale", "0.1",
+            "--benchmarks", "nn",
+        ]) == 0
+        assert target.exists()
+        assert "benchmark" in target.read_text().splitlines()[0]
+
+    def test_validate_parser_wiring(self):
+        args = build_parser().parse_args(["validate", "--scale", "0.2"])
+        assert args.scale == 0.2
+        assert args.func.__name__ == "_cmd_validate"

@@ -1,0 +1,76 @@
+"""Coalescer tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.cores.coalescer import (
+    WARP_SIZE,
+    Coalescer,
+    coalesce,
+    masked_lanes,
+    strided_lanes,
+    unit_stride_lanes,
+)
+from repro.errors import ConfigError
+
+
+class TestCoalesce:
+    def test_unit_stride_is_one_transaction(self):
+        lanes = unit_stride_lanes(base=0, element_bytes=4)
+        assert coalesce(lanes, 128) == [0]
+
+    def test_unit_stride_across_line_boundary(self):
+        lanes = unit_stride_lanes(base=64, element_bytes=4)
+        assert coalesce(lanes, 128) == [0, 1]
+
+    def test_large_stride_fully_diverges(self):
+        lanes = strided_lanes(base=0, stride_bytes=128)
+        assert coalesce(lanes, 128) == list(range(WARP_SIZE))
+
+    def test_inactive_lanes_skipped(self):
+        lanes = masked_lanes(strided_lanes(0, 128), active_mask=0b101)
+        assert coalesce(lanes, 128) == [0, 2]
+
+    def test_all_masked_yields_nothing(self):
+        lanes = masked_lanes(unit_stride_lanes(0), active_mask=0)
+        assert coalesce(lanes, 128) == []
+
+    def test_first_touch_order(self):
+        assert coalesce([300, 10, 290], 128) == [2, 0]
+
+    def test_bad_line_size(self):
+        with pytest.raises(ConfigError):
+            coalesce([0], 100)
+
+    def test_negative_address(self):
+        with pytest.raises(ConfigError):
+            coalesce([-4], 128)
+
+
+class TestCoalescerStats:
+    def test_histogram_and_means(self):
+        c = Coalescer(128)
+        c.access(unit_stride_lanes(0))          # 1 txn
+        c.access(strided_lanes(0, 128))         # 32 txns
+        assert c.stats.accesses == 2
+        assert c.stats.transactions == 33
+        assert c.stats.mean_transactions_per_access == pytest.approx(16.5)
+        assert c.stats.fully_coalesced_fraction == pytest.approx(0.5)
+
+    def test_masked_off_access_not_counted(self):
+        c = Coalescer(128)
+        c.access(masked_lanes(unit_stride_lanes(0), 0))
+        assert c.stats.accesses == 0
+
+    def test_too_many_lanes_rejected(self):
+        c = Coalescer(128)
+        with pytest.raises(ConfigError):
+            c.access([0] * (WARP_SIZE + 1))
+
+
+@given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=WARP_SIZE))
+def test_coalesce_covers_exactly_the_touched_lines(addresses):
+    lines = coalesce(addresses, 128)
+    assert set(lines) == {a // 128 for a in addresses}
+    assert len(lines) == len(set(lines))  # no duplicates
+    assert 1 <= len(lines) <= len(addresses)

@@ -1,0 +1,56 @@
+"""Direct unit tests for the congestion report (no heavy simulation)."""
+
+import pytest
+
+from repro.core.congestion import CongestionReport
+from repro.core.metrics import QueueMetrics, RunMetrics
+
+
+def metrics(name, l2_full, dram_full, respq_full=0.0):
+    calm = QueueMetrics(0.0, 0.0, 0, 0)
+    return RunMetrics(
+        benchmark=name, cycles=1000, instructions=500, ipc=0.5,
+        l1_hit_rate=0.1, l1_avg_miss_latency=400.0,
+        l1_p50_miss_latency=380.0, l1_p95_miss_latency=700.0,
+        l1_miss_count=100, l1_mshr_stall_cycles=0,
+        l1_missq=QueueMetrics(0.3, 0.5, 10, 100),
+        req_xbar_utilization=0.2, resp_xbar_utilization=0.4,
+        resp_xbar_blocked_cycles=0,
+        l2_hit_rate=0.5,
+        l2_accessq=QueueMetrics(l2_full, 0.6, 5, 100),
+        l2_missq=calm,
+        l2_respq=QueueMetrics(respq_full, 0.5, 0, 50),
+        l2_mshr_full_fraction=0.1, l2_reservation_fails=0, l2_writebacks=0,
+        dram_schedq=QueueMetrics(dram_full, 0.4, 3, 60),
+        dram_row_hit_rate=0.3, dram_bus_utilization=0.5,
+        dram_reads=60, dram_writes=5,
+        mem_pipeline_stall_cycles=100, no_ready_warp_fraction=0.6,
+    )
+
+
+@pytest.fixture
+def report():
+    return CongestionReport(runs={
+        "a": metrics("a", l2_full=0.40, dram_full=0.30, respq_full=0.5),
+        "b": metrics("b", l2_full=0.52, dram_full=0.48, respq_full=0.1),
+    })
+
+
+class TestAverages:
+    def test_headline_averages(self, report):
+        assert report.avg_l2_access_queue_full == pytest.approx(0.46)
+        assert report.avg_dram_queue_full == pytest.approx(0.39)
+
+    def test_other_queue_averages(self, report):
+        assert report.avg_l1_miss_queue_full == pytest.approx(0.3)
+        assert report.avg_l2_miss_queue_full == pytest.approx(0.0)
+        assert report.avg_l2_response_queue_full == pytest.approx(0.3)
+
+
+class TestTable:
+    def test_per_benchmark_rows_and_average(self, report):
+        table = report.to_table()
+        assert "a" in table and "b" in table
+        assert "average" in table
+        assert "46%" in table  # the averaged L2 column
+        assert "39%" in table  # the averaged DRAM column

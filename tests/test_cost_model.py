@@ -1,0 +1,82 @@
+"""Cost-model and pareto-frontier tests."""
+
+import pytest
+
+from repro.core.cost_model import (
+    DEFAULT_COSTS,
+    CostEffectiveness,
+    configuration_cost,
+    cost_effectiveness,
+    level_cost,
+    pareto_frontier,
+    render_cost_effectiveness,
+)
+from repro.core.design_space import TABLE_I
+from repro.errors import ConfigError
+
+
+class TestCosts:
+    def test_every_table_row_has_a_cost(self):
+        assert set(DEFAULT_COSTS) == {p.key for p in TABLE_I}
+
+    def test_default_costs_normalized_to_one(self):
+        assert sum(DEFAULT_COSTS.values()) == pytest.approx(1.0)
+
+    def test_level_costs_sum_to_total(self):
+        total = sum(level_cost(l) for l in ("dram", "l2", "l1"))
+        assert total == pytest.approx(1.0)
+
+    def test_configuration_cost_additive(self):
+        assert configuration_cost(("l1", "l2")) == pytest.approx(
+            level_cost("l1") + level_cost("l2"))
+
+    def test_missing_cost_rejected(self):
+        with pytest.raises(ConfigError):
+            level_cost("l2", {"flit_size": 0.5})
+
+    def test_negative_cost_rejected(self):
+        bad = dict(DEFAULT_COSTS)
+        bad["flit_size"] = -0.1
+        with pytest.raises(ConfigError):
+            level_cost("l2", bad)
+
+
+class TestEffectiveness:
+    def test_efficiency(self):
+        ce = CostEffectiveness("x", ("l2",), gain=0.5, cost=0.25)
+        assert ce.efficiency == pytest.approx(2.0)
+
+    def test_zero_cost_edge_cases(self):
+        assert CostEffectiveness("x", (), 0.5, 0.0).efficiency == float("inf")
+        assert CostEffectiveness("x", (), 0.0, 0.0).efficiency == 0.0
+
+    def test_cost_effectiveness_from_exploration(self):
+        class FakeResult:
+            runs = {"baseline": {}, "l2": {}, "dram": {}}
+
+            def average_gain(self, label):
+                return {"l2": 0.5, "dram": 0.1}[label]
+
+        points = cost_effectiveness(
+            FakeResult(), {"baseline": (), "l2": ("l2",), "dram": ("dram",)})
+        assert [p.label for p in points][0] in ("l2", "dram")
+        assert points[0].efficiency >= points[-1].efficiency
+
+
+class TestPareto:
+    def test_dominated_points_removed(self):
+        a = CostEffectiveness("cheap-good", (), gain=0.5, cost=0.1)
+        b = CostEffectiveness("costly-worse", (), gain=0.4, cost=0.5)
+        c = CostEffectiveness("costly-best", (), gain=0.9, cost=0.6)
+        frontier = pareto_frontier([a, b, c])
+        assert [p.label for p in frontier] == ["cheap-good", "costly-best"]
+
+    def test_equal_points_both_survive(self):
+        a = CostEffectiveness("a", (), gain=0.5, cost=0.2)
+        b = CostEffectiveness("b", (), gain=0.5, cost=0.2)
+        assert len(pareto_frontier([a, b])) == 2
+
+    def test_render(self):
+        a = CostEffectiveness("a", ("l2",), gain=0.5, cost=0.2)
+        text = render_cost_effectiveness([a], [a])
+        assert "a" in text and "yes" in text

@@ -1,0 +1,162 @@
+"""Crossbar tests: routing, bandwidth, arbitration, back-pressure."""
+
+import dataclasses
+
+from repro.icnt.crossbar import Crossbar, PacketSink
+from repro.mem.queue import StatQueue
+from repro.mem.request import AccessKind, MemoryRequest
+from repro.sim.config import GPUConfig, ICNTConfig
+
+
+def make_xbar(n_in=2, n_out=2, flit_bytes=4, lanes=8, sink_capacity=100,
+              payload=True):
+    cfg = dataclasses.replace(
+        GPUConfig(),
+        icnt=ICNTConfig(flit_bytes=flit_bytes, channel_lanes=lanes),
+    )
+    sources = [StatQueue(f"src{i}", 64) for i in range(n_in)]
+    outputs = [StatQueue(f"dst{o}", sink_capacity) for o in range(n_out)]
+    sinks = [
+        PacketSink(
+            can_accept=(lambda q: lambda _r: q.can_push())(q),
+            accept=(lambda q: lambda r, now: q.push(r, now))(q),
+        )
+        for q in outputs
+    ]
+    xbar = Crossbar(
+        "x",
+        cfg,
+        sources=sources,
+        sinks=sinks,
+        route=lambda r: r.line % n_out,
+        flit_count=lambda r: cfg.response_flits(payload),
+        stamp_hop="icnt",
+    )
+    return xbar, sources, outputs, cfg
+
+
+def req(rid, line):
+    return MemoryRequest(rid=rid, kind=AccessKind.LOAD, line=line, sm_id=0, warp_id=0)
+
+
+class TestTransfer:
+    def test_single_packet_takes_transfer_cycles(self):
+        xbar, sources, outputs, cfg = make_xbar()
+        cycles = cfg.response_transfer_cycles(True)
+        sources[0].push(req(0, 0), 0)
+        for c in range(cycles - 1):
+            xbar.step(c)
+            assert outputs[0].empty
+        xbar.step(cycles - 1)
+        assert len(outputs[0]) == 1
+
+    def test_single_flit_packet_delivers_first_cycle(self):
+        xbar, sources, outputs, _ = make_xbar(payload=False)
+        sources[0].push(req(0, 0), 0)
+        xbar.step(0)
+        assert len(outputs[0]) == 1
+
+    def test_routing_by_destination(self):
+        xbar, sources, outputs, _ = make_xbar(payload=False)
+        sources[0].push(req(0, 0), 0)
+        sources[0].push(req(1, 1), 0)
+        for c in range(4):
+            xbar.step(c)
+        assert len(outputs[0]) == 1 and len(outputs[1]) == 1
+
+    def test_parallel_transfers_on_distinct_ports(self):
+        xbar, sources, outputs, _ = make_xbar(payload=False)
+        sources[0].push(req(0, 0), 0)
+        sources[1].push(req(1, 1), 0)
+        xbar.step(0)
+        assert len(outputs[0]) == 1 and len(outputs[1]) == 1
+
+
+class TestArbitration:
+    def test_output_contention_serializes(self):
+        xbar, sources, outputs, cfg = make_xbar()
+        cycles = cfg.response_transfer_cycles(True)
+        sources[0].push(req(0, 0), 0)
+        sources[1].push(req(1, 0), 0)  # same destination
+        for c in range(2 * cycles):
+            xbar.step(c)
+        assert len(outputs[0]) == 2
+        assert xbar.packets_delivered == 2
+
+    def test_round_robin_fairness(self):
+        """With persistent contention every input gets served."""
+        xbar, sources, outputs, cfg = make_xbar(n_in=2, payload=False)
+        for i in range(10):
+            sources[0].push(req(100 + i, 0), 0)
+            sources[1].push(req(200 + i, 0), 0)
+        for c in range(40):
+            xbar.step(c)
+        rids = [r.rid for r in outputs[0]]
+        from_a = sum(1 for r in rids if r < 200)
+        from_b = sum(1 for r in rids if r >= 200)
+        assert from_a == from_b == 10
+
+    def test_input_serves_one_output_at_a_time(self):
+        xbar, sources, outputs, cfg = make_xbar()
+        cycles = cfg.response_transfer_cycles(True)
+        sources[0].push(req(0, 0), 0)
+        sources[0].push(req(1, 1), 0)
+        for c in range(cycles):
+            xbar.step(c)
+        # Wormhole: second packet had to wait for the first to finish.
+        assert len(outputs[0]) == 1
+        assert outputs[1].empty
+
+
+class TestBackPressure:
+    def test_full_sink_blocks_tail_flit(self):
+        xbar, sources, outputs, cfg = make_xbar(sink_capacity=1)
+        cycles = cfg.response_transfer_cycles(True)
+        sources[0].push(req(0, 0), 0)
+        sources[1].push(req(1, 0), 0)
+        for c in range(3 * cycles):
+            xbar.step(c)
+        assert len(outputs[0]) == 1  # second packet blocked
+        assert xbar.delivery_blocked_cycles > 0
+        outputs[0].pop(100)
+        for c in range(100, 100 + 2 * cycles):
+            xbar.step(c)
+        assert len(outputs[0]) == 1  # drained after space freed
+
+    def test_source_drains_into_input_fifo(self):
+        xbar, sources, outputs, cfg = make_xbar()
+        for i in range(cfg.icnt.input_queue_pkts + 3):
+            sources[0].push(req(i, 0), 0)
+        xbar.step(0)
+        # Input FIFO holds its capacity; the remainder stays in the source.
+        assert len(sources[0]) == 3
+        # As packets deliver, the FIFO refills from the source.
+        for c in range(1, 60):
+            xbar.step(c)
+        assert sources[0].empty
+        assert len(outputs[0]) == cfg.icnt.input_queue_pkts + 3
+
+    def test_is_idle(self):
+        xbar, sources, outputs, cfg = make_xbar(payload=False)
+        assert xbar.is_idle()
+        sources[0].push(req(0, 0), 0)
+        xbar._inject(0)
+        assert not xbar.is_idle()
+
+
+class TestStats:
+    def test_utilization_bounded(self):
+        xbar, sources, outputs, _ = make_xbar()
+        for i in range(6):
+            sources[i % 2].push(req(i, i % 2), 0)
+        for c in range(60):
+            xbar.step(c)
+        assert 0.0 <= xbar.utilization <= 1.0
+
+    def test_hop_timestamps(self):
+        xbar, sources, outputs, _ = make_xbar(payload=False)
+        r = req(0, 0)
+        sources[0].push(r, 0)
+        xbar.step(5)
+        assert r.timestamps["icnt_in"] == 5
+        assert r.timestamps["icnt_out"] == 5

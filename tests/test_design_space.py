@@ -1,0 +1,119 @@
+"""Table I design-space tests."""
+
+import pytest
+
+from repro.core.design_space import (
+    LEVELS,
+    TABLE_I,
+    get_parameter,
+    parameters_for_level,
+    render_table_i,
+    scale_level,
+    scale_levels,
+    scaled_config,
+)
+from repro.errors import ConfigError
+from repro.sim.config import GPUConfig
+
+
+class TestTableContents:
+    def test_thirteen_rows_as_in_the_paper(self):
+        assert len(TABLE_I) == 13
+
+    def test_levels_partition_the_table(self):
+        assert sum(len(parameters_for_level(l)) for l in LEVELS) == len(TABLE_I)
+        assert len(parameters_for_level("dram")) == 3
+        assert len(parameters_for_level("l2")) == 7
+        assert len(parameters_for_level("l1")) == 3
+
+    def test_paper_baseline_and_scaled_values(self):
+        expectations = {
+            "dram_sched_queue": (16, 64),
+            "dram_banks": (16, 64),
+            "dram_bus_width": (4, 8),
+            "l2_miss_queue": (8, 32),
+            "l2_response_queue": (8, 32),
+            "l2_mshr": (32, 128),
+            "l2_access_queue": (8, 32),
+            "l2_data_port": (32, 128),
+            "flit_size": (4, 16),
+            "l2_banks": (2, 8),
+            "l1_miss_queue": (8, 32),
+            "l1_mshr": (32, 128),
+            "mem_pipeline_width": (10, 40),
+        }
+        for key, (baseline, scaled) in expectations.items():
+            p = get_parameter(key)
+            assert (p.baseline, p.scaled) == (baseline, scaled), key
+
+    def test_types_match_paper(self):
+        plus = {p.key for p in TABLE_I if p.kind == "+"}
+        assert plus == {"dram_bus_width", "l2_data_port", "flit_size", "l2_banks"}
+
+    def test_baselines_match_default_config(self):
+        cfg = GPUConfig()
+        assert cfg.dram.sched_queue_depth == 16
+        assert cfg.dram.banks == 16
+        assert cfg.dram.bus_bytes == 4
+        assert cfg.l2.miss_queue_depth == 8
+        assert cfg.l2.response_queue_depth == 8
+        assert cfg.l2.mshr_entries == 32
+        assert cfg.l2.access_queue_depth == 8
+        assert cfg.l2.data_port_bytes == 32
+        assert cfg.icnt.flit_bytes == 4
+        assert cfg.l2.banks == 2
+        assert cfg.l1.miss_queue_depth == 8
+        assert cfg.l1.mshr_entries == 32
+        assert cfg.core.mem_pipeline_width == 10
+
+
+class TestScaling:
+    def test_scale_level_applies_all_rows(self):
+        scaled = scale_level(GPUConfig(), "l2")
+        assert scaled.l2.miss_queue_depth == 32
+        assert scaled.l2.response_queue_depth == 32
+        assert scaled.l2.mshr_entries == 128
+        assert scaled.l2.access_queue_depth == 32
+        assert scaled.l2.data_port_bytes == 128
+        assert scaled.icnt.flit_bytes == 16
+        assert scaled.l2.banks == 8
+        # other levels untouched
+        assert scaled.dram.banks == 16
+        assert scaled.l1.mshr_entries == 32
+
+    def test_scale_levels_combines(self):
+        scaled = scale_levels(GPUConfig(), ("l1", "l2"))
+        assert scaled.l1.mshr_entries == 128
+        assert scaled.core.mem_pipeline_width == 40
+        assert scaled.l2.banks == 8
+        assert scaled.dram.sched_queue_depth == 16
+
+    def test_scale_empty_is_identity(self):
+        assert scale_levels(GPUConfig(), ()) == GPUConfig()
+
+    def test_scaled_config_single_parameter(self):
+        scaled = scaled_config(GPUConfig(), "dram_banks")
+        assert scaled.dram.banks == 64
+        custom = scaled_config(GPUConfig(), "dram_banks", 32)
+        assert custom.dram.banks == 32
+
+    def test_unknown_parameter_and_level(self):
+        with pytest.raises(ConfigError):
+            scaled_config(GPUConfig(), "l3_banks")
+        with pytest.raises(ConfigError):
+            scale_level(GPUConfig(), "l4")
+
+    def test_original_config_never_mutated(self):
+        cfg = GPUConfig()
+        scale_levels(cfg, ("l1", "l2", "dram"))
+        assert cfg == GPUConfig()
+
+
+class TestRendering:
+    def test_render_contains_every_row_label(self):
+        table = render_table_i()
+        for p in TABLE_I:
+            assert p.label in table
+        assert "(a) DRAM" in table
+        assert "(b) L2 Cache" in table
+        assert "(c) L1 Cache" in table

@@ -1,0 +1,123 @@
+"""Property-based end-to-end tests.
+
+Hypothesis generates small synthetic kernels across the pattern space and
+checks global simulator invariants on the tiny configuration:
+
+* every run terminates and drains (no deadlock for any workload shape);
+* instruction counts are conserved (issued == program lengths);
+* every memory structure is empty at the end (no leaked requests);
+* statistics stay within their domains;
+* IPC never exceeds the architectural issue ceiling.
+"""
+
+import dataclasses
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.gpu import GPU
+from repro.sim.config import tiny_gpu
+from repro.workloads.synthetic import SyntheticKernelSpec, build_kernel
+
+spec_strategy = st.builds(
+    SyntheticKernelSpec,
+    name=st.just("prop"),
+    pattern=st.sampled_from(
+        ["stream", "shared_stream", "random", "hot_cold", "tile_reuse",
+         "wavefront"]),
+    iterations=st.integers(1, 6),
+    compute_per_iter=st.integers(0, 8),
+    loads_per_iter=st.integers(1, 3),
+    txns_per_load=st.integers(1, 4),
+    txn_spread=st.integers(1, 3),
+    stores_per_iter=st.integers(0, 2),
+    working_set_lines=st.integers(16, 2048),
+    hot_lines=st.integers(8, 256),
+    p_hot=st.floats(0.0, 1.0),
+    tile_lines=st.integers(1, 8),
+    reuse_per_line=st.integers(1, 4),
+    membar_every=st.integers(0, 2),
+    mlp_limit=st.integers(1, 6),
+)
+
+
+def expected_instructions(spec, n_sms, warps_per_sm):
+    kernel = build_kernel(spec)
+    total = 0
+    for sm in range(n_sms):
+        for warp in range(warps_per_sm):
+            for instr in kernel.instantiate(sm, warp, seed=1):
+                total += instr[1] if instr[0] == "compute" else 1
+    return total
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(spec=spec_strategy, magic=st.booleans())
+def test_simulator_invariants(spec, magic):
+    config = tiny_gpu()
+    if magic:
+        config = config.with_magic_memory(75)
+    gpu = GPU(config, build_kernel(spec), seed=1)
+    gpu.run(max_cycles=400_000)  # terminates (deadlock guard)
+
+    # Conservation: every program instruction issued exactly once.
+    assert gpu.instructions == expected_instructions(
+        spec, config.core.n_sms, config.core.warps_per_sm)
+
+    # IPC within the architectural ceiling.
+    peak = config.core.n_sms * config.core.issue_width
+    assert 0 < gpu.ipc <= peak + 1e-9
+
+    # Drained: no request left anywhere.
+    for sm in gpu.sms:
+        assert sm.is_idle()
+        assert len(sm.l1.mshr) == 0
+        assert sm.l1.miss_queue.empty
+    for l2 in gpu.l2_slices:
+        assert l2.is_idle()
+    for dram in gpu.dram_channels:
+        assert dram.is_idle()
+    if gpu.request_xbar is not None:
+        assert gpu.request_xbar.is_idle()
+        assert gpu.response_xbar.is_idle()
+
+    # Statistics domains.
+    for sm in gpu.sms:
+        assert 0.0 <= sm.l1.tags.hit_rate <= 1.0
+        assert sm.l1.miss_queue.full_fraction() <= 1.0
+    for l2 in gpu.l2_slices:
+        assert 0.0 <= l2.tags.hit_rate <= 1.0
+        for queue in (l2.access_queue, l2.miss_queue, l2.response_queue):
+            assert 0.0 <= queue.full_fraction() <= 1.0
+    for dram in gpu.dram_channels:
+        assert 0.0 <= dram.row_hit_rate <= 1.0
+        assert dram.sched_queue.full_fraction() <= 1.0
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(spec=spec_strategy)
+def test_request_conservation_through_memory_system(spec):
+    """DRAM reads + L2 hits account for every line that left the L1s."""
+    config = tiny_gpu()
+    gpu = GPU(config, build_kernel(spec), seed=2)
+    gpu.run(max_cycles=400_000)
+
+    l1_misses = sum(sm.l1.misses_issued for sm in gpu.sms)
+    l1_stores = sum(sm.l1.stores_sent for sm in gpu.sms)
+    l2_lookups = sum(l2.tags.lookups.denominator for l2 in gpu.l2_slices)
+    # Every L1 miss and store reaches exactly one L2 lookup.
+    assert l2_lookups == l1_misses + l1_stores
+
+    l2_mshr_allocs = sum(l2.fills for l2 in gpu.l2_slices)
+    dram_reads = sum(d.reads for d in gpu.dram_channels)
+    # Every L2 fill came from exactly one DRAM read (loads + store fetches).
+    assert l2_mshr_allocs == dram_reads
+
+    # Writebacks at L2 equal DRAM write completions.
+    writebacks = sum(l2.writebacks for l2 in gpu.l2_slices)
+    dram_writes = sum(d.writes for d in gpu.dram_channels)
+    assert writebacks == dram_writes

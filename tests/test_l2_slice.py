@@ -1,0 +1,186 @@
+"""L2 slice tests: hit/miss paths, write-back, data port, back-pressure."""
+
+import dataclasses
+
+from repro.cache.l2 import L2Slice
+from repro.dram.controller import DRAMChannel
+from repro.mem.address import AddressMapper
+from repro.mem.request import AccessKind, MemoryRequest
+from repro.sim.config import tiny_gpu
+
+
+def make_partition(**l2_kwargs):
+    cfg = tiny_gpu()
+    if l2_kwargs:
+        cfg = dataclasses.replace(
+            cfg, l2=dataclasses.replace(cfg.l2, **l2_kwargs)
+        )
+    mapper = AddressMapper(cfg)
+    l2 = L2Slice("l2", cfg, mapper, partition_id=0)
+    dram = DRAMChannel("d", cfg, mapper, partition_id=0)
+    l2.dram = dram
+    dram.l2 = l2
+    return l2, dram, mapper, cfg
+
+
+def load(rid, line, sm=0):
+    return MemoryRequest(rid=rid, kind=AccessKind.LOAD, line=line, sm_id=sm, warp_id=0)
+
+
+def store(rid, line, sm=0):
+    return MemoryRequest(rid=rid, kind=AccessKind.STORE, line=line, sm_id=sm, warp_id=0)
+
+
+def run_partition(l2, dram, cycles, start=0):
+    for c in range(start, start + cycles):
+        l2.step(c)
+        dram.step(c)
+
+
+class TestLoadPath:
+    def test_cold_load_misses_to_dram_and_responds(self):
+        l2, dram, mapper, cfg = make_partition()
+        r = load(0, 0)
+        l2.access_queue.push(r, 0)
+        run_partition(l2, dram, 400)
+        assert len(l2.response_queue) == 1
+        assert l2.response_queue.peek() is r
+        assert r.is_response
+        assert r.l2_miss
+
+    def test_second_load_same_line_hits_after_fill(self):
+        l2, dram, mapper, cfg = make_partition()
+        l2.access_queue.push(load(0, 0), 0)
+        run_partition(l2, dram, 400)
+        l2.response_queue.pop(400)
+        second = load(1, 0)
+        l2.access_queue.push(second, 401)
+        run_partition(l2, dram, 50, start=401)
+        assert second.is_response
+        assert "l2_hit" in second.timestamps
+        assert l2.tags.lookups.numerator == 1  # one hit counted
+
+    def test_concurrent_loads_merge_in_mshr(self):
+        l2, dram, mapper, cfg = make_partition()
+        a, b = load(0, 0, sm=0), load(1, 0, sm=1)
+        l2.access_queue.push(a, 0)
+        l2.access_queue.push(b, 0)
+        run_partition(l2, dram, 400)
+        # Both got responses, single DRAM read.
+        assert len(l2.response_queue) == 2
+        assert dram.reads == 1
+        assert l2.mshr.merges == 1
+
+    def test_mshr_released_after_fill(self):
+        l2, dram, mapper, cfg = make_partition()
+        l2.access_queue.push(load(0, 0), 0)
+        run_partition(l2, dram, 400)
+        assert len(l2.mshr) == 0
+
+
+class TestStorePath:
+    def test_store_miss_write_allocates(self):
+        l2, dram, mapper, cfg = make_partition()
+        l2.access_queue.push(store(0, 0), 0)
+        run_partition(l2, dram, 400)
+        # Store completes without producing a response packet.
+        assert l2.response_queue.empty
+        assert l2.store_completions == 1
+        assert dram.reads == 1  # the write-allocate fetch
+
+    def test_store_hit_marks_dirty_and_later_eviction_writes_back(self):
+        l2, dram, mapper, cfg = make_partition()
+        l2.access_queue.push(store(0, 0), 0)
+        run_partition(l2, dram, 400)
+        # Now overflow the set until line 0 is evicted; its writeback must
+        # reach DRAM as a write.
+        local_sets = l2.tags.n_sets
+        assoc = l2.tags.assoc
+        conflicts = [
+            load(10 + i, (i + 1) * local_sets * cfg.n_partitions * l2.tags.assoc)
+            for i in range(assoc + 1)
+        ]
+        fed = list(conflicts)
+        for c in range(401, 3000):
+            while fed and l2.access_queue.can_push():
+                l2.access_queue.push(fed.pop(0), c)
+            l2.step(c)
+            dram.step(c)
+            if dram.writes:
+                break
+        assert l2.writebacks >= 1
+        assert dram.writes >= 1
+
+
+class TestDataPort:
+    def test_port_serializes_responses(self):
+        l2, dram, mapper, cfg = make_partition()
+        # Two hits back to back: fill two lines first.
+        l2.access_queue.push(load(0, 0), 0)
+        l2.access_queue.push(load(1, cfg.n_partitions), 0)
+        run_partition(l2, dram, 500)
+        while not l2.response_queue.empty:
+            l2.response_queue.pop(500)
+        a, b = load(2, 0), load(3, cfg.n_partitions)
+        l2.access_queue.push(a, 501)
+        l2.access_queue.push(b, 501)
+        run_partition(l2, dram, 100, start=501)
+        out_a = a.timestamps["l2_out"]
+        out_b = b.timestamps["l2_out"]
+        assert abs(out_b - out_a) >= cfg.l2_port_cycles
+
+    def test_full_response_queue_blocks_bank(self):
+        l2, dram, mapper, cfg = make_partition(response_queue_depth=1)
+        lines = [i * cfg.n_partitions for i in range(4)]
+        fed = [load(i, line) for i, line in enumerate(lines)]
+        for c in range(0, 2000):
+            while fed and l2.access_queue.can_push():
+                l2.access_queue.push(fed.pop(0), c)
+            l2.step(c)
+            dram.step(c)
+        # Only one response fits; banks/pending hold the rest.
+        assert len(l2.response_queue) == 1
+        assert not l2.is_idle()
+        # Draining the queue lets the rest flow.
+        got = 0
+        for c in range(2000, 6000):
+            if not l2.response_queue.empty:
+                l2.response_queue.pop(c)
+                got += 1
+            l2.step(c)
+            dram.step(c)
+            if got == 4:
+                break
+        assert got == 4
+        assert l2.is_idle()
+
+
+class TestReservation:
+    def test_reservation_failure_blocks_bank(self):
+        # More concurrent same-set misses than ways, with MSHR capacity
+        # above associativity so the tag array (not the MSHR file) is the
+        # contended resource.
+        l2, dram, mapper, cfg = make_partition(mshr_entries=16)
+        sets = l2.tags.n_sets
+        assoc = l2.tags.assoc
+        # Same set, different tags: local lines k * sets.
+        same_set = [
+            load(i, i * sets * cfg.n_partitions * 64) for i in range(assoc + 2)
+        ]
+        # force same set: local = i * sets * 64 -> set index 0 for pow2 sets
+        fed = list(same_set)
+        responses = 0
+        for c in range(0, 6000):
+            while fed and l2.access_queue.can_push():
+                l2.access_queue.push(fed.pop(0), c)
+            l2.step(c)
+            dram.step(c)
+            while not l2.response_queue.empty:
+                l2.response_queue.pop(c)
+                responses += 1
+            if responses == len(same_set):
+                break
+        # All complete despite set-conflict pressure, and the pressure was
+        # actually exercised (reserved ways or MSHR capacity ran out).
+        assert responses == len(same_set)
+        assert l2.tags.reservation_fails + l2.mshr.alloc_fails >= 1

@@ -1,0 +1,100 @@
+"""MSHR table tests: allocation, merging, release, contention statistics."""
+
+import pytest
+
+from repro.cache.mshr import MSHRProbe, MSHRTable
+from repro.errors import ConfigError, SimulationError
+from repro.mem.request import AccessKind, MemoryRequest
+
+
+def req(rid, line, kind=AccessKind.LOAD):
+    return MemoryRequest(rid=rid, kind=kind, line=line, sm_id=0, warp_id=0)
+
+
+class TestAllocationAndMerge:
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigError):
+            MSHRTable("m", 0, 1)
+        with pytest.raises(ConfigError):
+            MSHRTable("m", 1, 0)
+
+    def test_probe_states(self):
+        m = MSHRTable("m", 2, 2)
+        assert m.probe(1) is MSHRProbe.ABSENT
+        m.allocate(req(0, 1), 0)
+        assert m.probe(1) is MSHRProbe.MERGEABLE
+        m.merge(req(1, 1), 1)
+        assert m.probe(1) is MSHRProbe.ENTRY_FULL
+
+    def test_allocate_full_table_fails(self):
+        m = MSHRTable("m", 1, 4)
+        assert m.allocate(req(0, 1), 0)
+        assert not m.allocate(req(1, 2), 0)
+        assert m.alloc_fails == 1
+
+    def test_duplicate_allocate_raises(self):
+        m = MSHRTable("m", 2, 4)
+        m.allocate(req(0, 1), 0)
+        with pytest.raises(SimulationError):
+            m.allocate(req(1, 1), 0)
+
+    def test_merge_absent_raises(self):
+        m = MSHRTable("m", 2, 4)
+        with pytest.raises(SimulationError):
+            m.merge(req(0, 1), 0)
+
+    def test_merge_full_entry_fails(self):
+        m = MSHRTable("m", 2, 1)
+        m.allocate(req(0, 1), 0)
+        assert not m.merge(req(1, 1), 0)
+        assert m.merge_fails == 1
+
+
+class TestRelease:
+    def test_release_returns_all_merged(self):
+        m = MSHRTable("m", 2, 4)
+        m.allocate(req(0, 7), 0)
+        m.merge(req(1, 7), 1)
+        m.merge(req(2, 7), 2)
+        entry = m.release(7, 10)
+        assert [r.rid for r in entry.requests] == [0, 1, 2]
+        assert m.probe(7) is MSHRProbe.ABSENT
+        assert m.releases == 1
+
+    def test_release_absent_raises(self):
+        m = MSHRTable("m", 2, 4)
+        with pytest.raises(SimulationError):
+            m.release(9, 0)
+
+    def test_store_taints_entry(self):
+        m = MSHRTable("m", 2, 4)
+        m.allocate(req(0, 7), 0)
+        m.merge(req(1, 7, AccessKind.STORE), 1)
+        assert m.release(7, 2).has_store
+
+    def test_load_only_entry_not_tainted(self):
+        m = MSHRTable("m", 2, 4)
+        m.allocate(req(0, 7), 0)
+        assert not m.release(7, 1).has_store
+
+
+class TestStatistics:
+    def test_full_fraction(self):
+        m = MSHRTable("m", 1, 4)
+        m.allocate(req(0, 1), 10)  # busy AND full from 10
+        m.release(1, 30)
+        m.finalize(50)
+        assert m.busy_cycles() == 20
+        assert m.full_cycles() == 20
+        assert m.full_fraction() == pytest.approx(1.0)
+
+    def test_partial_full_fraction(self):
+        m = MSHRTable("m", 2, 4)
+        m.allocate(req(0, 1), 0)   # busy from 0
+        m.allocate(req(1, 2), 10)  # full from 10
+        m.release(1, 20)           # not full from 20
+        m.release(2, 40)           # idle from 40
+        m.finalize(40)
+        assert m.busy_cycles() == 40
+        assert m.full_cycles() == 10
+        assert m.full_fraction() == pytest.approx(0.25)

@@ -1,0 +1,64 @@
+"""Multi-seed replication tests."""
+
+import pytest
+
+from repro.core.replication import Replication, ReplicationReport, replicate
+from repro.sim.config import tiny_gpu
+
+
+class TestReplicationMath:
+    def test_mean_std(self):
+        r = Replication("m", (1.0, 2.0, 3.0))
+        assert r.mean == pytest.approx(2.0)
+        assert r.std == pytest.approx(1.0)
+        assert r.cv == pytest.approx(0.5)
+        assert r.spread == pytest.approx(2.0)
+
+    def test_single_value_has_zero_std(self):
+        r = Replication("m", (5.0,))
+        assert r.std == 0.0
+        assert r.cv == 0.0
+
+    def test_zero_mean_cv(self):
+        r = Replication("m", (0.0, 0.0))
+        assert r.cv == 0.0
+
+
+class TestReplicate:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return replicate(
+            tiny_gpu(), "cfd", seeds=(1, 2, 3), iteration_scale=0.1)
+
+    def test_all_default_metrics_present(self, report):
+        assert set(report.replications) == {
+            "ipc", "l1_avg_miss_latency", "l2_hit_rate",
+            "l2_accessq_full", "dram_schedq_full",
+        }
+        assert report.seeds == (1, 2, 3)
+
+    def test_one_value_per_seed(self, report):
+        for r in report.replications.values():
+            assert len(r.values) == 3
+
+    def test_seed_variance_is_modest(self, report):
+        # Seeds change the random address stream, but at suite statistics
+        # the behaviour is stable: conclusions must not flip with the seed.
+        assert report.worst_cv() < 0.25
+
+    def test_table_renders(self, report):
+        text = report.to_table()
+        assert "cfd" in text and "CV" in text
+
+    def test_deterministic_benchmark_has_zero_variance(self):
+        # "nn" is a deterministic shared stream: seeds don't change it.
+        report = replicate(
+            tiny_gpu(), "nn", seeds=(1, 2), iteration_scale=0.1)
+        assert report.replications["ipc"].spread == pytest.approx(0.0)
+
+    def test_custom_metric(self):
+        report = replicate(
+            tiny_gpu(), "nn", seeds=(1,), iteration_scale=0.1,
+            metrics={"cycles": lambda m: float(m.cycles)})
+        assert set(report.replications) == {"cycles"}
+        assert report.replications["cycles"].mean > 0

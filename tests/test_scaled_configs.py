@@ -1,0 +1,86 @@
+"""Behavioural invariants across scaled configurations.
+
+Fast integration checks (tiny config, short kernels) that the Table I
+machinery changes simulated behaviour in the physically sensible
+direction — the full-magnitude assertions live in benchmarks/.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.design_space import scale_level, scale_levels
+from repro.core.metrics import run_kernel
+from repro.sim.config import fermi_gtx480, tiny_gpu
+from repro.workloads.suite import get_benchmark
+from repro.workloads.synthetic import SyntheticKernelSpec, build_kernel
+
+#: An L2-bandwidth-hungry probe for the tiny machine.
+L2_HUNGRY = build_kernel(SyntheticKernelSpec(
+    name="l2hungry", pattern="hot_cold", iterations=16, compute_per_iter=2,
+    loads_per_iter=2, txns_per_load=2, hot_lines=96, p_hot=0.9,
+    working_set_lines=4096, mlp_limit=6))
+
+
+class TestScalingDirections:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return run_kernel(tiny_gpu(), L2_HUNGRY)
+
+    def test_l2_scaling_never_hurts_the_l2_bound_probe(self, baseline):
+        scaled = run_kernel(scale_level(tiny_gpu(), "l2"), L2_HUNGRY)
+        assert scaled.ipc >= baseline.ipc * 0.97
+
+    def test_full_scaling_relieves_response_path(self, baseline):
+        scaled = run_kernel(
+            scale_levels(tiny_gpu(), ("l1", "l2", "dram")), L2_HUNGRY)
+        assert (
+            scaled.l2_respq.full_fraction
+            <= baseline.l2_respq.full_fraction + 0.05
+        )
+        assert scaled.ipc >= baseline.ipc * 0.97
+
+    def test_scaling_preserves_work(self, baseline):
+        scaled = run_kernel(
+            scale_levels(tiny_gpu(), ("l1", "l2", "dram")), L2_HUNGRY)
+        assert scaled.instructions == baseline.instructions
+
+    def test_deeper_queues_reject_less(self, baseline):
+        scaled = run_kernel(scale_level(tiny_gpu(), "l2"), L2_HUNGRY)
+        assert scaled.l2_accessq.rejections <= baseline.l2_accessq.rejections
+
+
+class TestFermiScale:
+    def test_fermi_config_runs_the_suite_briefly(self):
+        """Smoke test at the full 16-SM / 8-partition topology."""
+        metrics = run_kernel(
+            fermi_gtx480(), get_benchmark("sc", 0.05), max_cycles=2_000_000)
+        assert metrics.cycles > 0
+        assert metrics.instructions > 0
+        # 48 warps/SM x 16 SMs all retire.
+        assert metrics.ipc > 0
+
+    def test_fermi_preserves_sm_partition_ratio(self):
+        cfg = fermi_gtx480()
+        assert cfg.core.n_sms / cfg.n_partitions == 2.0
+        # Total L2 capacity matches the GTX480's 768 KiB.
+        assert cfg.l2.size_bytes * cfg.n_partitions == 768 * 1024
+
+
+class TestMagicVsRealOrdering:
+    def test_zero_latency_magic_is_an_upper_bound(self):
+        for name in ("nn", "leukocyte"):
+            kernel = get_benchmark(name, 0.1)
+            real = run_kernel(tiny_gpu(), kernel)
+            ideal = run_kernel(tiny_gpu().with_magic_memory(0), kernel)
+            assert ideal.ipc >= real.ipc * 0.99, name
+
+    def test_magic_at_measured_latency_brackets_baseline(self):
+        """Magic memory at the measured average miss latency lands near the
+        real baseline's IPC (the Figure 1 intercept argument)."""
+        kernel = get_benchmark("nn", 0.15)
+        real = run_kernel(tiny_gpu(), kernel)
+        magic = run_kernel(
+            tiny_gpu().with_magic_memory(round(real.l1_avg_miss_latency)),
+            kernel)
+        assert magic.ipc == pytest.approx(real.ipc, rel=0.5)

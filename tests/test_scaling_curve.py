@@ -1,0 +1,79 @@
+"""Scaling-coefficient sweep tests."""
+
+import pytest
+
+from repro.core.scaling_curve import (
+    ScalingCurve,
+    render_scaling_curves,
+    scale_level_by,
+    sweep_scaling_coefficient,
+)
+from repro.errors import ConfigError
+from repro.sim.config import GPUConfig, tiny_gpu
+
+
+class TestScaleLevelBy:
+    def test_factor_one_is_identity(self):
+        assert scale_level_by(GPUConfig(), "l2", 1) == GPUConfig()
+
+    def test_factor_four_matches_table_scaling(self):
+        from repro.core.design_space import scale_level
+
+        assert scale_level_by(GPUConfig(), "l2", 4) == scale_level(
+            GPUConfig(), "l2")
+        assert scale_level_by(GPUConfig(), "dram", 4) == scale_level(
+            GPUConfig(), "dram")
+
+    def test_bus_width_scales_sqrt(self):
+        cfg8 = scale_level_by(GPUConfig(), "dram", 8)
+        # sqrt(8) ~ 2.83 -> next pow2 = 4 -> 16 bytes
+        assert cfg8.dram.bus_bytes == 16
+        assert cfg8.dram.banks == 16 * 8
+
+    def test_non_pow2_factor_rejected(self):
+        with pytest.raises(ConfigError):
+            scale_level_by(GPUConfig(), "l2", 3)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def curve(self):
+        return sweep_scaling_coefficient(
+            tiny_gpu(), "l2", factors=(1, 4), benchmarks=("nn",),
+            iteration_scale=0.15)
+
+    def test_baseline_factor_always_included(self):
+        curve = sweep_scaling_coefficient(
+            tiny_gpu(), "l2", factors=(4,), benchmarks=("leukocyte",),
+            iteration_scale=0.1)
+        assert 1 in curve.runs
+
+    def test_average_speedup_at_one_is_one(self, curve):
+        assert curve.average_speedup(1) == pytest.approx(1.0)
+
+    def test_scaling_does_not_degrade(self, curve):
+        assert curve.average_speedup(4) >= 0.95
+
+    def test_render(self, curve):
+        text = render_scaling_curves([curve])
+        assert "l2" in text and "saturates" in text
+
+
+class TestSaturation:
+    def make_curve(self, speedups):
+        class FakeMetrics:
+            def __init__(self, ipc):
+                self.ipc = ipc
+
+        runs = {
+            factor: {"b": FakeMetrics(s)} for factor, s in speedups.items()
+        }
+        return ScalingCurve(level="x", runs=runs)
+
+    def test_saturation_detected(self):
+        curve = self.make_curve({1: 1.0, 2: 1.5, 4: 1.52, 8: 1.53})
+        assert curve.saturation_factor() == 2
+
+    def test_no_saturation_returns_last(self):
+        curve = self.make_curve({1: 1.0, 2: 1.5, 4: 2.0, 8: 2.5})
+        assert curve.saturation_factor() == 8

@@ -1,0 +1,145 @@
+"""SM tests: issue, LD/ST pipeline, blocking, retirement, IPC accounting.
+
+These use magic-memory mode so the SM + L1 can be tested without the full
+memory system.
+"""
+
+import dataclasses
+
+from repro.cores.sm import SM
+from repro.cores.warp import WarpState
+from repro.mem.request import RequestFactory
+from repro.sim.config import CoreConfig, tiny_gpu
+
+
+def make_sm(programs, mlp=4, magic_latency=20, **core_kwargs):
+    cfg = tiny_gpu().with_magic_memory(magic_latency)
+    if core_kwargs:
+        cfg = dataclasses.replace(
+            cfg, core=dataclasses.replace(cfg.core, **core_kwargs)
+        )
+    return SM(0, cfg, [iter(p) for p in programs], mlp, RequestFactory())
+
+
+def run(sm, cycles):
+    for c in range(sm.cycles, sm.cycles + cycles):
+        sm.step(c)
+
+
+class TestComputeIssue:
+    def test_compute_counts_instructions(self):
+        sm = make_sm([[("compute", 5)]])
+        run(sm, 10)
+        assert sm.instructions == 5
+        assert sm.done
+
+    def test_issue_width_caps_per_cycle(self):
+        sm = make_sm([[("compute", 10)], [("compute", 10)]], issue_width=2)
+        sm.step(0)
+        assert sm.instructions == 2
+
+    def test_ipc_bounded_by_issue_width(self):
+        sm = make_sm([[("compute", 50)] for _ in range(4)], issue_width=2)
+        run(sm, 200)
+        assert sm.done
+        assert sm.ipc <= 2.0
+
+
+class TestLoads:
+    def test_load_reaches_l1_and_completes(self):
+        sm = make_sm([[("load", [0x10])]], magic_latency=10)
+        run(sm, 40)
+        assert sm.done
+        assert sm.l1.misses_issued == 1
+
+    def test_warp_blocks_at_mlp_limit(self):
+        program = [("load", [1]), ("load", [2]), ("load", [3]), ("compute", 1)]
+        sm = make_sm([program], mlp=2, magic_latency=500)
+        run(sm, 10)
+        warp = sm.warps[0]
+        assert warp.state is WarpState.BLOCKED
+        assert warp.outstanding_loads == 2  # third load not yet issued
+
+    def test_warp_wakes_on_completion(self):
+        program = [("load", [1]), ("compute", 3)]
+        sm = make_sm([program], mlp=1, magic_latency=15)
+        run(sm, 60)
+        assert sm.done
+        assert sm.instructions == 2 + 3 - 1  # load + membar-free compute run
+
+    def test_membar_waits_for_loads(self):
+        program = [("load", [1]), ("membar",), ("compute", 1)]
+        sm = make_sm([program], mlp=4, magic_latency=30)
+        run(sm, 5)
+        assert sm.warps[0].state is WarpState.BLOCKED
+        run(sm, 100)
+        assert sm.done
+
+    def test_divergent_load_creates_transactions(self):
+        sm = make_sm([[("load", [1, 2, 3, 4])]], magic_latency=5)
+        run(sm, 60)
+        assert sm.done
+        assert sm.l1.misses_issued == 4
+        # one load instruction, four transactions
+        assert sm.instructions == 1
+
+
+class TestStores:
+    def test_store_is_fire_and_forget(self):
+        sm = make_sm([[("store", [1]), ("compute", 2)]])
+        run(sm, 10)
+        assert sm.done
+        assert sm.l1.stores_sent == 1
+
+
+class TestStructural:
+    def test_ldst_queue_full_stalls_issue(self):
+        # mlp high, ldst tiny: issue must stall on queue space.
+        program = [("load", [1, 2, 3, 4]) for _ in range(8)]
+        sm = make_sm([program], mlp=8, magic_latency=400,
+                     ldst_queue_depth=4, mem_pipeline_width=1)
+        run(sm, 4)
+        assert len(sm._ldst_queue) <= 4
+
+    def test_mem_pipeline_width_limits_drain(self):
+        sm = make_sm([[("load", [1, 2, 3, 4, 5, 6])]],
+                     mlp=8, magic_latency=500, mem_pipeline_width=2)
+        sm.step(0)   # issue the load -> 6 txns queued
+        sm.step(1)   # drain at most 2
+        assert sm.l1.misses_issued <= 4
+
+    def test_quiesce_after_done(self):
+        sm = make_sm([[("compute", 1)]])
+        run(sm, 30)
+        assert sm.done and sm.is_idle()
+        before = sm.instructions
+        run(sm, 10)
+        assert sm.instructions == before
+
+
+class TestMultiWarp:
+    def test_all_warps_retire(self):
+        programs = [[("compute", 2), ("load", [i]), ("compute", 2)]
+                    for i in range(4)]
+        sm = make_sm(programs, magic_latency=12)
+        run(sm, 200)
+        assert sm.done
+        assert all(w.state is WarpState.RETIRED for w in sm.warps)
+
+    def test_no_ready_warp_cycles_counted(self):
+        sm = make_sm([[("load", [1])]], mlp=1, magic_latency=50)
+        run(sm, 40)
+        assert sm.no_ready_warp_cycles > 0
+
+    def test_instructions_conserved(self):
+        """Total issued = per-warp program lengths (compute expanded)."""
+        programs = [
+            [("compute", 3), ("load", [1]), ("store", [2])],
+            [("compute", 2), ("membar",)],
+        ]
+        sm = make_sm(programs, magic_latency=8)
+        run(sm, 200)
+        assert sm.done
+        expected = (3 + 1 + 1) + (2 + 1)
+        assert sm.instructions == expected
+        assert sm.instructions == sum(w.instructions for w in sm.warps)

@@ -1,0 +1,121 @@
+"""Trace record/replay tests."""
+
+import pytest
+
+from repro.core.metrics import run_kernel
+from repro.cores.coalescer import strided_lanes, unit_stride_lanes
+from repro.errors import WorkloadError
+from repro.sim.config import tiny_gpu
+from repro.workloads.suite import get_benchmark
+from repro.workloads.trace import (
+    coalesce_lane_trace,
+    load_trace,
+    parse_trace,
+    record_program,
+    save_trace,
+    trace_kernel,
+)
+
+SAMPLE = """
+# sample trace
+warp 0 0
+c 4
+l 16 17
+s 0x20
+m
+warp 0 1
+l 5
+"""
+
+
+class TestParse:
+    def test_parse_sample(self):
+        programs = parse_trace(SAMPLE)
+        assert programs[(0, 0)] == [
+            ("compute", 4),
+            ("load", [16, 17]),
+            ("store", [32]),
+            ("membar",),
+        ]
+        assert programs[(0, 1)] == [("load", [5])]
+
+    def test_comments_and_blank_lines_ignored(self):
+        assert parse_trace("# only a comment\n\n") == {}
+
+    def test_instruction_before_warp_header(self):
+        with pytest.raises(WorkloadError):
+            parse_trace("c 4\n")
+
+    def test_unknown_op(self):
+        with pytest.raises(WorkloadError):
+            parse_trace("warp 0 0\nx 1\n")
+
+    def test_malformed_arguments(self):
+        with pytest.raises(WorkloadError):
+            parse_trace("warp 0 0\nc banana\n")
+
+
+class TestRoundTrip:
+    def test_record_then_parse_preserves_programs(self):
+        kernel = get_benchmark("cfd", 0.1)
+        text = record_program(kernel, n_sms=2, warps_per_sm=2, seed=5)
+        programs = parse_trace(text)
+        for sm in range(2):
+            for warp in range(2):
+                original = list(kernel.instantiate(sm, warp, 5))
+                assert programs[(sm, warp)] == original
+
+    def test_replay_matches_original_run(self):
+        """Replaying a recorded trace reproduces the original simulation
+        cycle for cycle."""
+        cfg = tiny_gpu()
+        kernel = get_benchmark("nn", 0.1)
+        text = record_program(
+            kernel, cfg.core.n_sms, cfg.core.warps_per_sm, seed=1)
+        replay = trace_kernel(
+            parse_trace(text), mlp_limit=kernel.mlp_limit)
+        original = run_kernel(cfg, kernel, seed=1)
+        replayed = run_kernel(cfg, replay, seed=1)
+        assert replayed.cycles == original.cycles
+        assert replayed.instructions == original.instructions
+
+    def test_save_and_load(self, tmp_path):
+        path = tmp_path / "t.trace"
+        save_trace(path, SAMPLE)
+        assert load_trace(path) == parse_trace(SAMPLE)
+
+    def test_missing_warp_gets_empty_program(self):
+        kernel = trace_kernel(parse_trace(SAMPLE))
+        assert list(kernel.instantiate(7, 7, 1)) == []
+
+
+class TestLaneTrace:
+    def test_coalesce_lane_trace(self):
+        accesses = [
+            ("load", unit_stride_lanes(0)),
+            ("store", strided_lanes(0, 256)),
+        ]
+        instructions, coalescer = coalesce_lane_trace(
+            accesses, line_bytes=128, compute_between=2)
+        assert instructions[0] == ("compute", 2)
+        assert instructions[1] == ("load", [0])
+        assert instructions[3][0] == "store"
+        assert len(instructions[3][1]) == 32
+        assert coalescer.stats.accesses == 2
+
+    def test_masked_access_dropped(self):
+        instructions, _ = coalesce_lane_trace(
+            [("load", [None] * 4)], line_bytes=128)
+        assert instructions == []
+
+    def test_bad_kind(self):
+        with pytest.raises(WorkloadError):
+            coalesce_lane_trace([("atomic", [0])], line_bytes=128)
+
+    def test_lane_trace_runs_on_gpu(self):
+        accesses = [("load", unit_stride_lanes(i * 512)) for i in range(8)]
+        instructions, _ = coalesce_lane_trace(
+            accesses, line_bytes=128, compute_between=1)
+        kernel = trace_kernel({(0, 0): instructions}, mlp_limit=2)
+        metrics = run_kernel(tiny_gpu(), kernel)
+        assert metrics.instructions == len(instructions)

@@ -1,0 +1,93 @@
+"""Unit tests for means, table rendering and ASCII plots."""
+
+import pytest
+
+from repro.utils.ascii_plot import line_plot
+from repro.utils.means import arithmetic_mean, geometric_mean, harmonic_mean
+from repro.utils.tables import render_table
+
+
+class TestMeans:
+    def test_arithmetic(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_geometric(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_harmonic(self):
+        assert harmonic_mean([1.0, 1.0]) == pytest.approx(1.0)
+        assert harmonic_mean([2.0, 6.0]) == pytest.approx(3.0)
+
+    def test_empty_raises(self):
+        for fn in (arithmetic_mean, geometric_mean, harmonic_mean):
+            with pytest.raises(ValueError):
+                fn([])
+
+    def test_nonpositive_raises_for_geo_and_harmonic(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+        with pytest.raises(ValueError):
+            harmonic_mean([1.0, -1.0])
+
+    def test_geometric_le_arithmetic(self):
+        values = [0.5, 1.7, 2.3, 9.1]
+        assert geometric_mean(values) <= arithmetic_mean(values)
+
+    def test_harmonic_le_geometric(self):
+        values = [0.5, 1.7, 2.3, 9.1]
+        assert harmonic_mean(values) <= geometric_mean(values)
+
+
+class TestRenderTable:
+    def test_contains_headers_and_cells(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        assert "a" in out and "bb" in out
+        assert "2.500" in out  # float formatting
+        assert "x" in out
+
+    def test_title(self):
+        out = render_table(["c"], [[1]], title="My Title")
+        assert out.startswith("My Title")
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_bad_align_raises(self):
+        with pytest.raises(ValueError):
+            render_table(["a"], [[1]], align="x")
+
+    def test_alignment_left_and_right(self):
+        out = render_table(["col"], [["a"], ["bbb"]], align="l")
+        lines = [l for l in out.splitlines() if "| a" in l]
+        assert lines, "left-aligned cell should hug the left edge"
+
+
+class TestLinePlot:
+    def test_basic_plot_dimensions(self):
+        out = line_plot({"s": [(0, 0), (1, 1)]}, width=20, height=5)
+        body = [l for l in out.splitlines() if l.startswith("|")]
+        assert len(body) == 5
+        assert all(len(l) <= 21 for l in body)
+
+    def test_legend_lists_all_series(self):
+        out = line_plot({"alpha": [(0, 1)], "beta": [(1, 2)]})
+        assert "alpha" in out and "beta" in out
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            line_plot({})
+        with pytest.raises(ValueError):
+            line_plot({"s": []})
+
+    def test_flat_series_does_not_crash(self):
+        out = line_plot({"s": [(0, 1.0), (10, 1.0)]})
+        assert "1.00" in out
+
+
+class TestLinePlotManySeries:
+    def test_marker_reuse_beyond_alphabet(self):
+        series = {f"s{i}": [(0, i), (1, i + 1)] for i in range(25)}
+        out = line_plot(series)
+        # All series named in the legend even when markers wrap around.
+        assert all(f"s{i}" in out for i in range(25))

@@ -1,0 +1,174 @@
+"""Unit tests for repro.utils.stats accumulators."""
+
+import pytest
+
+from repro.utils.stats import Accumulator, IntervalTracker, RatioStat
+
+
+class TestAccumulator:
+    def test_empty_mean_is_zero(self):
+        acc = Accumulator("x")
+        assert acc.mean == 0.0
+        assert acc.count == 0
+
+    def test_add_updates_all_fields(self):
+        acc = Accumulator("x")
+        acc.add(10.0)
+        acc.add(20.0)
+        assert acc.total == 30.0
+        assert acc.count == 2
+        assert acc.mean == 15.0
+        assert acc.minimum == 10.0
+        assert acc.maximum == 20.0
+
+    def test_weighted_add(self):
+        acc = Accumulator("x")
+        acc.add(5.0, weight=4)
+        assert acc.count == 4
+        assert acc.total == 20.0
+        assert acc.mean == 5.0
+
+    def test_merge(self):
+        a = Accumulator("a")
+        b = Accumulator("b")
+        a.add(1.0)
+        b.add(3.0)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == 2.0
+        assert a.minimum == 1.0
+        assert a.maximum == 3.0
+
+
+class TestRatioStat:
+    def test_empty_ratio_is_zero(self):
+        assert RatioStat("r").ratio == 0.0
+
+    def test_hit_and_miss(self):
+        r = RatioStat("r")
+        r.hit(3)
+        r.miss(1)
+        assert r.numerator == 3
+        assert r.denominator == 4
+        assert r.ratio == pytest.approx(0.75)
+
+    def test_merge(self):
+        a = RatioStat("a")
+        b = RatioStat("b")
+        a.hit()
+        b.miss()
+        a.merge(b)
+        assert a.ratio == pytest.approx(0.5)
+
+
+class TestIntervalTracker:
+    def test_simple_interval(self):
+        t = IntervalTracker("t")
+        t.update(10, True)
+        t.update(25, False)
+        assert t.total() == 15
+
+    def test_open_interval_counted_with_now(self):
+        t = IntervalTracker("t")
+        t.update(10, True)
+        assert t.total(now=30) == 20
+        assert t.active
+
+    def test_finalize_closes_open_interval(self):
+        t = IntervalTracker("t")
+        t.update(5, True)
+        t.finalize(12)
+        assert t.total() == 7
+        assert not t.active
+
+    def test_redundant_updates_are_harmless(self):
+        t = IntervalTracker("t")
+        t.update(0, True)
+        t.update(3, True)
+        t.update(8, True)
+        t.update(10, False)
+        t.update(11, False)
+        assert t.total() == 10
+
+    def test_multiple_intervals_accumulate(self):
+        t = IntervalTracker("t")
+        t.update(0, True)
+        t.update(4, False)
+        t.update(10, True)
+        t.update(13, False)
+        assert t.total() == 7
+
+    def test_zero_length_interval(self):
+        t = IntervalTracker("t")
+        t.update(5, True)
+        t.update(5, False)
+        assert t.total() == 0
+
+
+class TestHistogram:
+    def test_empty(self):
+        from repro.utils.stats import Histogram
+
+        h = Histogram("h")
+        assert h.mean == 0.0
+        assert h.percentile(0.5) == 0.0
+
+    def test_mean_exact(self):
+        from repro.utils.stats import Histogram
+
+        h = Histogram("h", bucket_width=4)
+        for v in (0, 10, 20):
+            h.add(v)
+        assert h.mean == pytest.approx(10.0)
+        assert h.count == 3
+
+    def test_percentiles_ordered(self):
+        from repro.utils.stats import Histogram
+
+        h = Histogram("h", bucket_width=2)
+        for v in range(100):
+            h.add(v)
+        p50 = h.percentile(0.5)
+        p95 = h.percentile(0.95)
+        p99 = h.percentile(0.99)
+        assert p50 <= p95 <= p99
+        assert abs(p50 - 50) <= 4
+        assert abs(p95 - 95) <= 4
+
+    def test_percentile_bounds_validated(self):
+        from repro.utils.stats import Histogram
+
+        h = Histogram("h")
+        with pytest.raises(ValueError):
+            h.percentile(1.5)
+        with pytest.raises(ValueError):
+            h.add(-1)
+        with pytest.raises(ValueError):
+            Histogram("h", bucket_width=0)
+
+    def test_merge(self):
+        from repro.utils.stats import Histogram
+
+        a, b = Histogram("a"), Histogram("b")
+        a.add(10)
+        b.add(30)
+        a.merge(b)
+        assert a.count == 2
+        assert a.mean == pytest.approx(20.0)
+
+    def test_merge_width_mismatch(self):
+        from repro.utils.stats import Histogram
+
+        with pytest.raises(ValueError):
+            Histogram("a", 4).merge(Histogram("b", 8))
+
+    def test_tail_heavier_than_median(self):
+        from repro.utils.stats import Histogram
+
+        h = Histogram("h", bucket_width=8)
+        for _ in range(95):
+            h.add(100)
+        for _ in range(5):
+            h.add(1000)
+        assert h.percentile(0.5) < 120
+        assert h.percentile(0.99) > 900

@@ -1,0 +1,89 @@
+"""Warp state-machine tests."""
+
+import pytest
+
+from repro.cores.warp import Warp, WarpState
+from repro.errors import WorkloadError
+
+
+def make_warp(instrs, mlp=2, warp_id=0):
+    return Warp(warp_id, iter(instrs), mlp)
+
+
+class TestFetch:
+    def test_fetch_returns_instructions_in_order(self):
+        w = make_warp([("compute", 3), ("load", [1])])
+        assert w.fetch() == ("compute", 3)
+        w.consume_pending()
+        assert w.fetch() == ("load", [1])
+
+    def test_pending_instruction_sticks_until_consumed(self):
+        w = make_warp([("load", [1]), ("compute", 1)])
+        assert w.fetch() == ("load", [1])
+        assert w.fetch() == ("load", [1])  # structural stall: same instr
+        w.consume_pending()
+        assert w.fetch() == ("compute", 1)
+
+    def test_fetch_none_at_end(self):
+        w = make_warp([])
+        assert w.fetch() is None
+        assert w.program_done
+
+    def test_invalid_instruction_rejected(self):
+        w = make_warp([("jump", 1)])
+        with pytest.raises(WorkloadError):
+            w.fetch()
+
+    def test_invalid_mlp_rejected(self):
+        with pytest.raises(WorkloadError):
+            Warp(0, iter([]), 0)
+
+
+class TestBlocking:
+    def test_blocks_at_mlp_limit(self):
+        w = make_warp([], mlp=2)
+        w.outstanding_loads = 1
+        assert not w.should_block()
+        w.outstanding_loads = 2
+        assert w.should_block()
+
+    def test_membar_blocks_until_drained(self):
+        w = make_warp([], mlp=8)
+        w.outstanding_loads = 1
+        w.at_membar = True
+        assert w.should_block()
+        w.on_load_complete()
+        assert not w.at_membar
+        assert not w.should_block()
+
+    def test_membar_with_no_loads_does_not_block(self):
+        w = make_warp([], mlp=8)
+        w.at_membar = True
+        assert not w.should_block()
+
+
+class TestRetire:
+    def test_cannot_retire_with_outstanding_loads(self):
+        w = make_warp([])
+        w.fetch()
+        w.outstanding_loads = 1
+        assert not w.can_retire()
+        w.on_load_complete()
+        assert w.can_retire()
+
+    def test_cannot_retire_with_pending_instr(self):
+        w = make_warp([("load", [1])])
+        w.fetch()
+        assert not w.can_retire()
+
+    def test_cannot_retire_mid_compute(self):
+        w = make_warp([])
+        w.fetch()
+        w.remaining_compute = 2
+        assert not w.can_retire()
+
+    def test_fresh_empty_warp_retires(self):
+        w = make_warp([])
+        w.fetch()
+        assert w.can_retire()
+        assert w.state is WarpState.READY  # state transition is the SM's job

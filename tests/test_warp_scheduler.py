@@ -1,0 +1,94 @@
+"""Warp scheduler (LRR / GTO) tests."""
+
+import pytest
+
+from repro.cores.scheduler import GTOScheduler, LRRScheduler, make_warp_scheduler
+from repro.cores.warp import Warp
+from repro.errors import ConfigError
+
+
+def warps(n):
+    return [Warp(i, iter([]), 1) for i in range(n)]
+
+
+class TestPoolMaintenance:
+    @pytest.mark.parametrize("cls", [LRRScheduler, GTOScheduler])
+    def test_add_remove_contains(self, cls):
+        sched = cls()
+        a, b = warps(2)
+        sched.add(a)
+        sched.add(b)
+        assert sched.contains(a) and len(sched) == 2
+        sched.remove(a)
+        assert not sched.contains(a) and len(sched) == 1
+
+    @pytest.mark.parametrize("cls", [LRRScheduler, GTOScheduler])
+    def test_add_is_idempotent(self, cls):
+        sched = cls()
+        (a,) = warps(1)
+        sched.add(a)
+        sched.add(a)
+        assert len(sched) == 1
+        assert len(sched.candidates()) == 1
+
+    @pytest.mark.parametrize("cls", [LRRScheduler, GTOScheduler])
+    def test_remove_absent_is_noop(self, cls):
+        sched = cls()
+        (a,) = warps(1)
+        sched.remove(a)
+        assert len(sched) == 0
+
+
+class TestLRR:
+    def test_rotation_after_issue(self):
+        sched = LRRScheduler()
+        a, b, c = warps(3)
+        for w in (a, b, c):
+            sched.add(w)
+        assert sched.candidates()[0] is a
+        sched.issued(a)
+        assert sched.candidates()[0] is b
+        sched.issued(b)
+        assert sched.candidates()[0] is c
+
+    def test_issue_from_middle_moves_to_back(self):
+        sched = LRRScheduler()
+        a, b, c = warps(3)
+        for w in (a, b, c):
+            sched.add(w)
+        sched.issued(b)  # b issued while not at the front
+        order = sched.candidates()
+        assert order[-1] is b
+
+
+class TestGTO:
+    def test_greedy_prefers_current_warp(self):
+        sched = GTOScheduler()
+        a, b, c = warps(3)
+        for w in (a, b, c):
+            sched.add(w)
+        sched.issued(b)
+        assert sched.candidates()[0] is b
+
+    def test_falls_back_to_oldest_when_current_leaves(self):
+        sched = GTOScheduler()
+        a, b, c = warps(3)
+        for w in (a, b, c):
+            sched.add(w)
+        sched.issued(c)
+        sched.remove(c)
+        assert sched.candidates()[0] is a  # oldest = lowest id
+
+    def test_candidates_sorted_by_age(self):
+        sched = GTOScheduler()
+        a, b, c = warps(3)
+        for w in (c, a, b):
+            sched.add(w)
+        assert [w.warp_id for w in sched.candidates()] == [0, 1, 2]
+
+
+def test_factory():
+    assert make_warp_scheduler("lrr").name == "lrr"
+    assert make_warp_scheduler("gto").name == "gto"
+    with pytest.raises(ConfigError):
+        make_warp_scheduler("fifo")

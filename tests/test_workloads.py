@@ -1,0 +1,175 @@
+"""Workload-layer tests: patterns, synthetic specs, the paper suite."""
+
+import random
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.patterns import (
+    coalesced_group,
+    hot_cold,
+    stream,
+    strided,
+    uniform_random,
+)
+from repro.workloads.program import KernelProgram
+from repro.workloads.suite import BENCHMARKS, PAPER_SUITE, SPECS, get_benchmark
+from repro.workloads.synthetic import SyntheticKernelSpec, build_kernel
+
+
+class TestPatterns:
+    def test_stream(self):
+        assert list(stream(100, 5, 3)) == [105, 106, 107]
+
+    def test_strided(self):
+        assert list(strided(0, 0, 4, 3)) == [0, 4, 8]
+
+    def test_uniform_random_in_range(self):
+        rng = random.Random(1)
+        lines = list(uniform_random(rng, 50, 10, 100))
+        assert all(50 <= l < 60 for l in lines)
+
+    def test_hot_cold_split(self):
+        rng = random.Random(2)
+        lines = list(hot_cold(rng, 0, hot_span=10, cold_span=100, p_hot=0.8,
+                              count=500))
+        hot = sum(1 for l in lines if l < 10)
+        assert 0.7 < hot / 500 < 0.9
+
+    def test_coalesced_group(self):
+        assert coalesced_group(7, 1) == [7]
+        assert coalesced_group(7, 3, spread=2) == [7, 9, 11]
+
+
+class TestSpecValidation:
+    def base(self, **kw):
+        args = dict(name="k", pattern="stream", iterations=4,
+                    compute_per_iter=2, loads_per_iter=1)
+        args.update(kw)
+        return SyntheticKernelSpec(**args)
+
+    def test_valid_spec(self):
+        self.base()
+
+    @pytest.mark.parametrize("kw", [
+        dict(pattern="zigzag"),
+        dict(iterations=0),
+        dict(loads_per_iter=0, stores_per_iter=0),
+        dict(txns_per_load=0),
+        dict(p_hot=1.5),
+        dict(pattern="hot_cold", hot_lines=0),
+        dict(working_set_lines=0),
+    ])
+    def test_invalid_specs(self, kw):
+        with pytest.raises(WorkloadError):
+            self.base(**kw)
+
+    def test_scaled(self):
+        spec = self.base(iterations=10)
+        assert spec.scaled(0.5).iterations == 5
+        assert spec.scaled(0.01).iterations == 1  # never below 1
+
+    def test_instruction_accounting_helpers(self):
+        spec = self.base(iterations=3, loads_per_iter=2, txns_per_load=2,
+                         stores_per_iter=1)
+        assert spec.memory_instructions_per_warp == 3 * 3
+        assert spec.transactions_per_warp == 3 * (2 * 2 + 1)
+
+
+class TestProgramGeneration:
+    def trace(self, spec, sm=0, warp=0, seed=1):
+        kernel = build_kernel(spec)
+        return list(kernel.instantiate(sm, warp, seed))
+
+    def test_stream_generates_expected_ops(self):
+        spec = SyntheticKernelSpec(
+            name="k", pattern="stream", iterations=2, compute_per_iter=3,
+            loads_per_iter=2, txns_per_load=2, stores_per_iter=1)
+        trace = self.trace(spec)
+        kinds = [i[0] for i in trace]
+        assert kinds == ["compute", "load", "load", "store"] * 2
+        loads = [i for i in trace if i[0] == "load"]
+        assert all(len(i[1]) == 2 for i in loads)
+
+    def test_stream_lines_are_disjoint_across_warps(self):
+        spec = SyntheticKernelSpec(
+            name="k", pattern="stream", iterations=4, compute_per_iter=1,
+            loads_per_iter=2)
+        lines_a = {l for op, arg in self.trace(spec, warp=0) if op == "load"
+                   for l in arg}
+        lines_b = {l for op, arg in self.trace(spec, warp=1) if op == "load"
+                   for l in arg}
+        assert not lines_a & lines_b
+
+    def test_shared_stream_wraps_working_set(self):
+        spec = SyntheticKernelSpec(
+            name="k", pattern="shared_stream", iterations=50,
+            compute_per_iter=1, loads_per_iter=2, working_set_lines=64)
+        lines = {l for op, arg in self.trace(spec) if op == "load" for l in arg}
+        assert max(lines) < 64
+
+    def test_random_within_working_set(self):
+        spec = SyntheticKernelSpec(
+            name="k", pattern="random", iterations=20, compute_per_iter=1,
+            loads_per_iter=2, working_set_lines=128)
+        lines = [l for op, arg in self.trace(spec) if op == "load" for l in arg]
+        assert all(0 <= l < 128 for l in lines)
+
+    def test_tile_reuse_revisits_lines(self):
+        spec = SyntheticKernelSpec(
+            name="k", pattern="tile_reuse", iterations=16, compute_per_iter=1,
+            loads_per_iter=2, tile_lines=4, reuse_per_line=4)
+        lines = [l for op, arg in self.trace(spec) if op == "load" for l in arg]
+        assert len(set(lines)) < len(lines) / 2  # substantial reuse
+
+    def test_wavefront_emits_membars(self):
+        spec = SyntheticKernelSpec(
+            name="k", pattern="wavefront", iterations=5, compute_per_iter=1,
+            loads_per_iter=1, membar_every=1, working_set_lines=64)
+        kinds = [i[0] for i in self.trace(spec)]
+        assert kinds.count("membar") == 5
+
+    def test_determinism_per_seed(self):
+        spec = SPECS["cfd"]
+        a = self.trace(spec, seed=7)
+        b = self.trace(spec, seed=7)
+        c = self.trace(spec, seed=8)
+        assert a == b
+        assert a != c
+
+    def test_store_arena_does_not_collide_with_loads(self):
+        spec = SyntheticKernelSpec(
+            name="k", pattern="stream", iterations=8, compute_per_iter=1,
+            loads_per_iter=2, stores_per_iter=2)
+        trace = self.trace(spec, sm=7, warp=63)
+        loads = {l for op, arg in trace if op == "load" for l in arg}
+        stores = {l for op, arg in trace if op == "store" for l in arg}
+        assert not loads & stores
+
+
+class TestSuite:
+    def test_suite_contains_papers_benchmarks(self):
+        assert set(PAPER_SUITE) == {
+            "cfd", "dwt2d", "leukocyte", "nn", "nw", "sc", "lbm", "ss"
+        }
+        assert set(BENCHMARKS) == set(PAPER_SUITE)
+
+    def test_get_benchmark_scaling(self):
+        full = get_benchmark("nn")
+        assert isinstance(full, KernelProgram)
+        half = get_benchmark("nn", 0.5)
+        n_full = len(list(full.instantiate(0, 0, 1)))
+        n_half = len(list(half.instantiate(0, 0, 1)))
+        assert n_half < n_full
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(WorkloadError):
+            get_benchmark("fluidanimate")
+
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_every_benchmark_generates_valid_traces(self, name):
+        kernel = get_benchmark(name, 0.1)
+        trace = list(kernel.instantiate(0, 0, 1))
+        assert trace, name
+        valid = {"compute", "load", "store", "membar"}
+        assert all(i[0] in valid for i in trace)
