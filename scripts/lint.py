@@ -1,0 +1,22 @@
+#!/usr/bin/env python
+"""Run the repo's custom lint pass (see repro.analysis.lint for the rules).
+
+Usage::
+
+    python scripts/lint.py src/            # what CI runs
+    python scripts/lint.py src/repro/cache # any file or directory set
+
+Exits 0 when clean, 1 when violations were found.
+"""
+import sys
+from pathlib import Path
+
+# Make the in-tree package importable without an install.
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.analysis.lint import run_lint  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(run_lint(sys.argv[1:]))

@@ -1,0 +1,21 @@
+"""Correctness tooling: simulator sanitizer and repo-specific lint pass.
+
+Two independent halves, both enforcing the model's contracts mechanically
+rather than trusting any single implementation:
+
+* :class:`Sanitizer` (``repro.analysis.sanitizer``) — a dynamic checker
+  attachable to a running :class:`~repro.sim.engine.Simulator` that proves,
+  per cycle or per epoch, request conservation, timestamp monotonicity,
+  MSHR integrity, queue bounds and forward progress.  Violations raise
+  :class:`~repro.errors.SanitizerError` with a full diagnostic dump.
+* The lint pass (``repro.analysis.lint``) — AST rules over ``src/`` that
+  keep the simulator deterministic and its failure modes loud (no global
+  RNG or wall-clock reads, no bare ``assert`` for protocol violations, all
+  exceptions under :class:`~repro.errors.ReproError`, hot-path dataclasses
+  slotted, no frozen-config mutation).
+"""
+
+from repro.analysis.lint import LintViolation, lint_paths, lint_source
+from repro.analysis.sanitizer import Sanitizer
+
+__all__ = ["LintViolation", "Sanitizer", "lint_paths", "lint_source"]

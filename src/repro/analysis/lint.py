@@ -1,0 +1,346 @@
+"""Repo-specific static lint rules for the simulator source tree.
+
+The simulator's credibility rests on properties no general-purpose linter
+checks: determinism (same seed, same run), loud protocol failures (no
+check that vanishes under ``python -O``), a single catchable exception
+hierarchy, and memory-lean hot-path objects.  Each rule below encodes one
+of those contracts as an AST pass:
+
+========  ==============================================================
+code      contract
+========  ==============================================================
+REP001    no unseeded RNG or wall-clock reads in simulator code: global
+          ``random.*`` functions share hidden mutable state and
+          ``time.time()``-style calls leak host time into the model;
+          both break run-to-run determinism.  Seeded ``random.Random``
+          instances are the sanctioned source of randomness.
+REP002    no ``assert`` statements: assertions are stripped under
+          ``python -O``, so a protocol violation guarded by one can pass
+          silently in optimized runs.  Raise
+          :class:`~repro.errors.SimulationError` instead.
+REP003    every raised exception derives from
+          :class:`~repro.errors.ReproError` (``NotImplementedError`` for
+          abstract methods excepted), so ``except ReproError`` reliably
+          separates modelled failures from genuine bugs.
+REP004    dataclasses in hot-path packages (``mem``, ``cache``, ``dram``,
+          ``icnt``, ``cores``) declare ``slots=True``: per-instance
+          ``__dict__`` costs memory and attribute-lookup time exactly
+          where millions of objects live.
+REP005    no attribute assignment through a config object: the
+          ``GPUConfig`` tree is frozen, and code that *appears* to
+          mutate it (``self._config.l1.assoc = 2``) either raises at
+          runtime or, worse, mutates shared state if a sub-config is
+          ever unfrozen.  Use ``dataclasses.replace``.
+========  ==============================================================
+
+A violating line can opt out with a ``# noqa: REPxxx`` comment (bare
+``# noqa`` suppresses every rule on the line).  The
+:func:`lint_paths` entry point is wired to ``scripts/lint.py`` and the
+``repro lint`` CLI subcommand; CI runs it over ``src/`` on every push.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro import errors as _errors
+from repro.errors import ReproError, UsageError
+
+#: Packages whose dataclasses must declare slots (REP004).
+HOT_PACKAGES = ("mem", "cache", "dram", "icnt", "cores")
+
+#: Module-level ``random`` attributes that are allowed (seeded generators).
+_RANDOM_ALLOWED = {"Random", "SystemRandom"}
+
+#: Wall-clock call chains flagged by REP001, as dotted names.
+_WALL_CLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.localtime",
+    "time.gmtime",
+    "time.ctime",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+}
+
+#: Names from the ``random`` module considered unseeded global-state RNG.
+_RANDOM_FUNCTIONS = {
+    "betavariate", "choice", "choices", "expovariate", "gammavariate",
+    "gauss", "getrandbits", "lognormvariate", "normalvariate", "paretovariate",
+    "randbytes", "randint", "random", "randrange", "sample", "seed",
+    "shuffle", "triangular", "uniform", "vonmisesvariate", "weibullvariate",
+}
+
+#: Exception names always acceptable to raise (REP003).
+_RAISE_ALLOWED_EXTRA = {"NotImplementedError"}
+
+#: Variable names through which code reaches a (frozen) config object.
+_CONFIG_NAMES = {"config", "cfg", "_config"}
+
+
+def _repro_error_names() -> frozenset[str]:
+    """Names of every ReproError subclass defined in :mod:`repro.errors`."""
+    return frozenset(
+        name
+        for name, obj in vars(_errors).items()
+        if isinstance(obj, type) and issubclass(obj, ReproError)
+    )
+
+
+@dataclass(frozen=True, slots=True)
+class LintViolation:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, path: str, source_lines: list[str], hot: bool) -> None:
+        self.path = path
+        self.lines = source_lines
+        self.hot = hot
+        self.violations: list[LintViolation] = []
+        #: Names bound by ``from random import X``.
+        self.random_names: set[str] = set()
+        #: Local classes whose bases resolve into the ReproError tree.
+        self.allowed_raises = set(_repro_error_names()) | _RAISE_ALLOWED_EXTRA
+
+    # -- helpers -------------------------------------------------------
+    def _suppressed(self, line: int, code: str) -> bool:
+        if not 1 <= line <= len(self.lines):
+            return False
+        text = self.lines[line - 1]
+        if "noqa" not in text:
+            return False
+        _, _, tail = text.partition("noqa")
+        tail = tail.lstrip(": ").strip()
+        return not tail or code in tail.replace(",", " ").split()
+
+    def _flag(self, node: ast.AST, code: str, message: str) -> None:
+        if self._suppressed(node.lineno, code):
+            return
+        self.violations.append(
+            LintViolation(self.path, node.lineno, node.col_offset, code, message)
+        )
+
+    @staticmethod
+    def _dotted(node: ast.AST) -> str | None:
+        """Render a Name/Attribute chain as ``a.b.c`` (None if dynamic)."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+
+    # -- imports (REP001 support) --------------------------------------
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in _RANDOM_FUNCTIONS:
+                    self.random_names.add(alias.asname or alias.name)
+        self.generic_visit(node)
+
+    # -- REP001: nondeterminism ----------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._dotted(node.func)
+        if dotted is not None:
+            head, _, tail = dotted.partition(".")
+            if head == "random" and tail and tail not in _RANDOM_ALLOWED:
+                self._flag(
+                    node, "REP001",
+                    f"call to global RNG random.{tail}; use a seeded "
+                    "random.Random instance",
+                )
+            elif dotted in _WALL_CLOCK:
+                self._flag(
+                    node, "REP001",
+                    f"wall-clock read {dotted}(); simulator code must not "
+                    "depend on host time",
+                )
+            elif not tail and head in self.random_names:
+                self._flag(
+                    node, "REP001",
+                    f"call to global RNG {head}() (imported from random); "
+                    "use a seeded random.Random instance",
+                )
+        self.generic_visit(node)
+
+    # -- REP002: bare assert -------------------------------------------
+    def visit_Assert(self, node: ast.Assert) -> None:
+        self._flag(
+            node, "REP002",
+            "assert vanishes under python -O; raise SimulationError (or "
+            "another ReproError) for protocol violations",
+        )
+        self.generic_visit(node)
+
+    # -- REP003: exception hierarchy -----------------------------------
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        base_names = {
+            name for base in node.bases
+            if (name := self._dotted(base)) is not None
+        }
+        if any(
+            name.rpartition(".")[2] in self.allowed_raises
+            for name in base_names
+        ):
+            self.allowed_raises.add(node.name)
+        self.generic_visit(node)
+
+    def visit_Raise(self, node: ast.Raise) -> None:
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = self._dotted(exc) if exc is not None else None
+        if name is not None:
+            short = name.rpartition(".")[2]
+            if short not in self.allowed_raises:
+                obj = getattr(builtins, short, None)
+                if isinstance(obj, type) and issubclass(obj, BaseException):
+                    self._flag(
+                        node, "REP003",
+                        f"raises builtin {short}; deliberate failures must "
+                        "derive from ReproError",
+                    )
+        self.generic_visit(node)
+
+    # -- REP004: hot-path dataclass slots ------------------------------
+    def _dataclass_decorator(self, node: ast.ClassDef):
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            dotted = self._dotted(target)
+            if dotted in ("dataclass", "dataclasses.dataclass"):
+                return decorator
+        return None
+
+    def _check_dataclass_slots(self, node: ast.ClassDef) -> None:
+        decorator = self._dataclass_decorator(node)
+        if decorator is None:
+            return
+        if isinstance(decorator, ast.Call):
+            for keyword in decorator.keywords:
+                if keyword.arg == "slots" and (
+                    isinstance(keyword.value, ast.Constant)
+                    and keyword.value.value is True
+                ):
+                    return
+        self._flag(
+            node, "REP004",
+            f"hot-path dataclass {node.name} must declare slots=True",
+        )
+
+    # -- REP005: frozen-config mutation --------------------------------
+    def _check_config_store(self, target: ast.AST) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        # Walk the object being stored *into*; the final attr is the
+        # binding itself (``self.config = ...`` is allowed).
+        node = target.value
+        while isinstance(node, ast.Attribute):
+            if node.attr in _CONFIG_NAMES:
+                self._flag(
+                    target, "REP005",
+                    "attribute assignment through a config object; configs "
+                    "are frozen — build a new one with dataclasses.replace",
+                )
+                return
+            node = node.value
+        if isinstance(node, ast.Name) and node.id in _CONFIG_NAMES:
+            self._flag(
+                target, "REP005",
+                "attribute assignment through a config object; configs "
+                "are frozen — build a new one with dataclasses.replace",
+            )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_config_store(target)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_config_store(node.target)
+        self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str = "<string>", *, hot: bool | None = None
+) -> list[LintViolation]:
+    """Lint one module's source text; returns violations in line order."""
+    if hot is None:
+        parts = Path(path).parts
+        hot = any(package in parts for package in HOT_PACKAGES) and (
+            "repro" in parts
+        )
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise UsageError(f"{path}: cannot lint, syntax error: {exc}") from exc
+    visitor = _Visitor(path, source.splitlines(), hot)
+    visitor.visit(tree)
+    if hot:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ClassDef):
+                visitor._check_dataclass_slots(node)
+    return sorted(visitor.violations, key=lambda v: (v.line, v.col, v.code))
+
+
+def _iter_python_files(paths: list[str]):
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            yield from sorted(
+                p for p in path.rglob("*.py")
+                if "__pycache__" not in p.parts
+                and not any(part.endswith(".egg-info") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            yield path
+        else:
+            raise UsageError(f"{raw}: not a python file or directory")
+
+
+def lint_paths(paths: list[str]) -> list[LintViolation]:
+    """Lint every python file under ``paths`` (files or directories)."""
+    violations: list[LintViolation] = []
+    for path in _iter_python_files(paths):
+        violations.extend(
+            lint_source(path.read_text(encoding="utf-8"), str(path))
+        )
+    return violations
+
+
+def run_lint(paths: list[str]) -> int:
+    """CLI body: print violations, return a process exit code."""
+    if not paths:
+        paths = ["src"]
+    violations = lint_paths(paths)
+    for violation in violations:
+        print(violation.render())
+    if violations:
+        print(f"{len(violations)} violation(s)")
+        return 1
+    return 0

@@ -152,6 +152,8 @@ class L1DCache:
         request.stamp("l1_store", now)
         if not self._magic:
             self.miss_queue.push(request, now)
+        else:
+            request.retired = True  # magic memory absorbs the store here
         return AccessResult.STORE_SENT
 
     def _access_store_write_back(
@@ -163,6 +165,7 @@ class L1DCache:
             self.tags.mark_dirty(request.line)
             self.store_hits_local += 1
             request.stamp("l1_store", now)
+            request.retired = True  # absorbed locally; no downstream traffic
             return AccessResult.HIT
         probe = self.mshr.probe(request.line)
         if probe is MSHRProbe.MERGEABLE:
@@ -262,6 +265,11 @@ class L1DCache:
     def finalize(self, now: int) -> None:
         self.miss_queue.finalize(now)
         self.mshr.finalize(now)
+
+    def inflight_requests(self):
+        """Requests in the cache's internal pipes (sanitizer hook)."""
+        yield from self._hit_pipe
+        yield from self._fill_pipe
 
     def resource_epoch(self) -> int:
         """Monotone counter of stall-clearing events.

@@ -33,7 +33,7 @@ from repro.sim.component import Component
 from repro.sim.config import GPUConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class _Bank:
     """One L2 bank: a fixed-latency pipeline plus an output register."""
 
@@ -141,6 +141,7 @@ class L2Slice(Component):
                 self._pending_responses.append(original)
             else:
                 self.store_completions += 1
+                original.retired = True  # store data merged into the line
 
     def _emit_pending_responses(self, now: int) -> None:
         """Push fill responses through the data port into the response queue."""
@@ -185,6 +186,7 @@ class L2Slice(Component):
                 self.store_hits += 1
                 self.store_completions += 1
                 request.stamp("l2_hit", now)
+                request.retired = True  # write-through store ends at L2
                 return True
             # Load hit: needs the data port and a response-queue slot.
             if now < self._port_free_at or not self.response_queue.can_push():
@@ -270,3 +272,19 @@ class L2Slice(Component):
         self.miss_queue.finalize(now)
         self.response_queue.finalize(now)
         self.mshr.finalize(now)
+
+    # ------------------------------------------------------------------
+    # sanitizer introspection
+    # ------------------------------------------------------------------
+    def inspect_queues(self):
+        return (self.access_queue, self.miss_queue, self.response_queue)
+
+    def inspect_mshrs(self):
+        return (self.mshr,)
+
+    def inspect_inflight(self):
+        for bank in self.banks:
+            yield from bank.pipe
+            if bank.output is not None:
+                yield bank.output
+        yield from self._pending_responses

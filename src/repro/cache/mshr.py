@@ -31,7 +31,7 @@ class MSHRProbe(enum.Enum):
     ENTRY_FULL = "entry_full"
 
 
-@dataclass
+@dataclass(slots=True)
 class MSHREntry:
     """Bookkeeping for one outstanding line."""
 
@@ -54,6 +54,8 @@ class MSHRTable:
         self.capacity = entries
         self.max_merge = max_merge
         self._entries: dict[int, MSHREntry] = {}
+        #: Entries allocated over the run (len == allocations - releases).
+        self.allocations: int = 0
         #: Requests that merged into an existing entry.
         self.merges: int = 0
         #: Allocations refused because the table was full.
@@ -94,6 +96,7 @@ class MSHRTable:
         entry.requests.append(request)
         entry.has_store = request.is_write
         self._entries[request.line] = entry
+        self.allocations += 1
         self._busy_time.update(now, True)
         if len(self._entries) >= self.capacity:
             self._full_time.update(now, True)
@@ -129,6 +132,10 @@ class MSHRTable:
 
     def pending(self, line: int) -> bool:
         return line in self._entries
+
+    def entries(self):
+        """Live entries, for sanitizer / debug inspection (read-only use)."""
+        return self._entries.values()
 
     # ------------------------------------------------------------------
     # statistics

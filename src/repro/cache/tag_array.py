@@ -35,7 +35,7 @@ class _Way:
     dirty: bool = False
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Eviction:
     """Description of a line displaced by a reserve/fill."""
 
@@ -165,7 +165,11 @@ class TagArray:
                 )
             evicted = result  # type: ignore[assignment]
             set_idx, way_idx = self._find(line)
-            assert way_idx is not None
+            if way_idx is None:
+                raise SimulationError(
+                    f"{self.name}: reserved way for {line:#x} vanished "
+                    "before fill"
+                )
         way = self._sets[set_idx][way_idx]
         way.state = LineState.VALID
         way.dirty = dirty

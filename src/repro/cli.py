@@ -92,7 +92,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.magic_latency is not None:
         config = config.with_magic_memory(args.magic_latency)
     metrics = run_kernel(
-        config, get_benchmark(args.benchmark, args.scale), seed=args.seed)
+        config, get_benchmark(args.benchmark, args.scale), seed=args.seed,
+        sanitize=args.sanitize, sanitize_interval=args.sanitize_interval)
     rows = [
         ["cycles", metrics.cycles],
         ["instructions", metrics.instructions],
@@ -111,7 +112,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(render_table(
         ["metric", "value"], rows,
         title=f"{args.benchmark} on {args.config} (scale {args.scale})"))
+    sanitizer = metrics.extras.get("sanitizer")
+    if sanitizer:
+        print(
+            f"\nsanitizer: {sanitizer['checks_run']} checks, "
+            f"{sanitizer['requests_tracked']} requests tracked, "
+            f"{sanitizer['requests_retired']} retired, "
+            f"{sanitizer['requests_in_flight']} in flight — all invariants held"
+        )
     return 0
+
+
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.lint import run_lint
+
+    return run_lint(args.paths)
 
 
 def _cmd_congestion(args: argparse.Namespace) -> int:
@@ -212,8 +227,23 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--magic-latency", type=int, default=None,
         help="use the fixed-latency magic memory below L1 (Figure 1 mode)")
+    run.add_argument(
+        "--sanitize", action="store_true",
+        help="attach the invariant sanitizer (request conservation, MSHR "
+             "leaks, queue bounds, deadlock); fails loudly on violations")
+    run.add_argument(
+        "--sanitize-interval", type=int, default=64, metavar="CYCLES",
+        help="cycles between sanitizer epochs (default: 64; 1 checks "
+             "every cycle)")
     _add_common(run)
     run.set_defaults(func=_cmd_run)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo's custom static lint rules (REP001-005)")
+    lint.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to lint (default: src)")
+    lint.set_defaults(func=_cmd_lint)
 
     cong = sub.add_parser(
         "congestion", help="Section III: queue-occupancy measurement")

@@ -192,8 +192,24 @@ def run_kernel(
     kernel: KernelProgram,
     seed: int = 1,
     max_cycles: int = 5_000_000,
+    sanitize: bool = False,
+    sanitize_interval: int = 64,
 ) -> RunMetrics:
-    """Build, run and measure one kernel on one configuration."""
+    """Build, run and measure one kernel on one configuration.
+
+    With ``sanitize``, a :class:`repro.analysis.Sanitizer` checks the
+    model's invariants every ``sanitize_interval`` cycles and raises
+    :class:`~repro.errors.SanitizerError` on any violation; its counters
+    land in ``RunMetrics.extras['sanitizer']``.
+    """
     gpu = GPU(config, kernel, seed=seed)
+    sanitizer = None
+    if sanitize:
+        from repro.analysis.sanitizer import Sanitizer
+
+        sanitizer = Sanitizer.attach(gpu, interval=sanitize_interval)
     gpu.run(max_cycles=max_cycles)
-    return collect_metrics(gpu)
+    metrics = collect_metrics(gpu)
+    if sanitizer is not None:
+        metrics.extras["sanitizer"] = sanitizer.stats()
+    return metrics

@@ -44,7 +44,7 @@ def coalesce(addresses: Iterable[int | None], line_bytes: int) -> list[int]:
     return list(seen)
 
 
-@dataclass
+@dataclass(slots=True)
 class CoalescingStats:
     """Aggregate coalescing behaviour over a kernel."""
 

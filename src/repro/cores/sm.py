@@ -100,6 +100,7 @@ class SM(Component):
 
     def _process_completions(self, now: int) -> None:
         for request in self.l1.collect_completions(now):
+            request.retired = True  # the request's journey ends at its SM
             tracker = self._txn_tracker.pop(request.rid, None)
             if tracker is None:
                 continue
@@ -271,6 +272,19 @@ class SM(Component):
 
     def finalize(self, now: int) -> None:
         self.l1.finalize(now)
+
+    # ------------------------------------------------------------------
+    # sanitizer introspection
+    # ------------------------------------------------------------------
+    def inspect_queues(self):
+        return (self.l1.miss_queue,)
+
+    def inspect_mshrs(self):
+        return (self.l1.mshr,)
+
+    def inspect_inflight(self):
+        yield from self._ldst_queue
+        yield from self.l1.inflight_requests()
 
     @property
     def ipc(self) -> float:

@@ -39,7 +39,7 @@ class WarpState(enum.Enum):
     RETIRED = "retired"
 
 
-@dataclass
+@dataclass(slots=True)
 class LoadInstr:
     """Tracks completion of one load instruction's transactions."""
 

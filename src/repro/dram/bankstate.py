@@ -17,7 +17,7 @@ from dataclasses import dataclass
 from repro.sim.config import DRAMConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class BankState:
     """Dynamic state of one DRAM bank."""
 

@@ -105,6 +105,7 @@ class DRAMChannel(Component):
             if request.kind is AccessKind.WRITEBACK:
                 self._completions.pop()
                 request.stamp("dram_done", now)
+                request.retired = True  # writebacks terminate at DRAM
                 self.writes += 1
             else:
                 # LOADs and write-allocate STORE fetches both return data to
@@ -208,6 +209,15 @@ class DRAMChannel(Component):
     def finalize(self, now: int) -> None:
         self.sched_queue.finalize(now)
         self.return_queue.finalize(now)
+
+    # ------------------------------------------------------------------
+    # sanitizer introspection
+    # ------------------------------------------------------------------
+    def inspect_queues(self):
+        return (self.sched_queue, self.return_queue)
+
+    def inspect_inflight(self):
+        yield from self._completions
 
     @property
     def row_hit_rate(self) -> float:

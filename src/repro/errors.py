@@ -43,3 +43,63 @@ class CycleLimitExceeded(SimulationError):
 
 class WorkloadError(ReproError):
     """A workload description is malformed or references unknown entities."""
+
+
+class UsageError(ReproError, ValueError):
+    """An API was called with an invalid argument.
+
+    Derives from :class:`ValueError` as well so call sites that guard with
+    ``except ValueError`` keep working, while ``except ReproError`` still
+    catches every deliberate failure of the package.
+    """
+
+
+class SanitizerError(SimulationError):
+    """An invariant checked by :class:`repro.analysis.Sanitizer` was violated.
+
+    Carries a structured diagnostic snapshot — the violated invariant, the
+    cycle, the in-flight requests involved and the occupancy of every
+    queue — and renders all of it into the exception message so a bare
+    traceback is already actionable.
+    """
+
+    #: Cap on requests rendered into the message (the full tuple is kept).
+    MAX_DUMPED_REQUESTS = 16
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        invariant: str = "",
+        cycle: int | None = None,
+        requests: tuple = (),
+        queue_occupancies: tuple[tuple[str, int, int], ...] = (),
+    ) -> None:
+        self.invariant = invariant
+        self.cycle = cycle
+        self.requests = tuple(requests)
+        #: ``(queue name, occupancy, capacity)`` triples at violation time.
+        self.queue_occupancies = tuple(queue_occupancies)
+        super().__init__(self._render(message))
+
+    def _render(self, message: str) -> str:
+        lines = [message]
+        if self.invariant:
+            lines[0] = f"[{self.invariant}] {message}"
+        if self.cycle is not None:
+            lines[0] += f" (cycle {self.cycle})"
+        if self.requests:
+            shown = self.requests[: self.MAX_DUMPED_REQUESTS]
+            lines.append(f"in-flight requests ({len(self.requests)} total):")
+            lines.extend(f"  {request!r}" for request in shown)
+            if len(self.requests) > len(shown):
+                lines.append(f"  ... and {len(self.requests) - len(shown)} more")
+        occupied = [
+            (name, occ, cap) for name, occ, cap in self.queue_occupancies if occ
+        ]
+        if occupied:
+            lines.append("queue occupancies (non-empty only):")
+            lines.extend(
+                f"  {name}: {occ}/{cap}" for name, occ, cap in occupied
+            )
+        return "\n".join(lines)

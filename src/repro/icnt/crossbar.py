@@ -29,7 +29,7 @@ from repro.sim.component import Component
 from repro.sim.config import GPUConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketSink:
     """Destination-port behaviour: admission test + delivery action."""
 
@@ -37,7 +37,7 @@ class PacketSink:
     accept: Callable[[MemoryRequest, int], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class _Packet:
     request: MemoryRequest
     dest: int
@@ -163,6 +163,11 @@ class Crossbar(Component):
     # ------------------------------------------------------------------
     def is_idle(self) -> bool:
         return all(not port.fifo for port in self._inputs)
+
+    def inspect_inflight(self):
+        for port in self._inputs:
+            for packet in port.fifo:
+                yield packet.request
 
     @property
     def utilization(self) -> float:

@@ -168,6 +168,12 @@ class RingNetwork(Component):
             not buffer for buffer in self._arrivals
         )
 
+    def inspect_inflight(self):
+        for request, _ in self._in_flight:
+            yield request
+        for buffer in self._arrivals:
+            yield from buffer
+
     @property
     def mean_hops(self) -> float:
         return self.total_hops / self.packets_delivered \

@@ -36,6 +36,10 @@ class DelayPipe(Generic[T]):
     def empty(self) -> bool:
         return not self._heap
 
+    def __iter__(self):
+        """Iterate over the in-flight items (arbitrary order)."""
+        return (item for _, _, item in self._heap)
+
     def insert(self, item: T, now: int, extra_delay: int = 0) -> None:
         """Insert ``item``; it becomes ready at ``now + latency + extra``."""
         ready = now + self.latency + extra_delay

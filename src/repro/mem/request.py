@@ -51,6 +51,11 @@ class MemoryRequest:
     is_response: bool = False
     #: Set by L2 when the request was a miss there (for statistics).
     l2_miss: bool = False
+    #: True once the request has left the system for good (load handed back
+    #: to its SM, store absorbed by a cache level, writeback drained by
+    #: DRAM).  Set unconditionally at every terminal site; consumed by the
+    #: :mod:`repro.analysis` sanitizer to prove request conservation.
+    retired: bool = False
 
     @property
     def is_write(self) -> bool:
@@ -81,6 +86,9 @@ class RequestFactory:
 
     def __init__(self) -> None:
         self._ids = itertools.count()
+        #: Optional callable invoked with every request created; used by the
+        #: sanitizer to register requests for conservation tracking.
+        self.listener = None
 
     def make(
         self,
@@ -98,4 +106,6 @@ class RequestFactory:
             warp_id=warp_id,
             issued_at=now,
         )
+        if self.listener is not None:
+            self.listener(request)
         return request

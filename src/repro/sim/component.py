@@ -10,9 +10,22 @@ leaves the item where it is and retries on a later cycle.
 Components also expose :meth:`finalize` (close open statistics intervals)
 and :meth:`is_idle` (used by the engine to detect global quiescence and by
 tests to assert drained state).
+
+Introspection
+-------------
+The ``inspect_*`` hooks let the :mod:`repro.analysis` sanitizer enumerate a
+component's bookkeeping without knowing its concrete type: every bounded
+queue (:meth:`inspect_queues`), every MSHR table (:meth:`inspect_mshrs`)
+and every request currently travelling through the component's private
+buffers (:meth:`inspect_inflight` — pipeline registers, crossbar FIFOs,
+pending-response lists; *not* MSHR residence, which the sanitizer reads
+from the tables themselves).  The defaults return empty iterables so plain
+components need not care.
 """
 
 from __future__ import annotations
+
+from collections.abc import Iterable
 
 
 class Component:
@@ -31,3 +44,18 @@ class Component:
     def is_idle(self) -> bool:
         """True when the component holds no in-flight work."""
         return True
+
+    # ------------------------------------------------------------------
+    # sanitizer introspection hooks
+    # ------------------------------------------------------------------
+    def inspect_queues(self) -> Iterable:
+        """Bounded :class:`~repro.mem.queue.StatQueue` instances owned here."""
+        return ()
+
+    def inspect_mshrs(self) -> Iterable:
+        """:class:`~repro.cache.mshr.MSHRTable` instances owned here."""
+        return ()
+
+    def inspect_inflight(self) -> Iterable:
+        """Requests held in transit buffers other than the above queues."""
+        return ()

@@ -31,6 +31,9 @@ class Simulator:
         self._finalized = False
         self._fast_steps: list | None = None
         self._slow_entries: list[tuple[Component, ClockDomain]] | None = None
+        #: Opt-in observers (e.g. the repro.analysis sanitizer); empty in
+        #: normal runs so the per-cycle cost is one truthiness test.
+        self._observers: list = []
 
     # ------------------------------------------------------------------
     # construction
@@ -48,6 +51,18 @@ class Simulator:
     def components(self) -> list[Component]:
         """Registered components in step order."""
         return [c for c, _ in self._entries]
+
+    def attach_observer(self, observer) -> None:
+        """Register an observer called at cycle and finalize boundaries.
+
+        An observer provides ``on_cycle(cycle)`` — invoked after every
+        component has stepped, at the quiescent point between cycles — and
+        ``on_finalize(cycle)`` — invoked once when the simulation
+        finalizes.  Observers may raise (the sanitizer raises
+        :class:`~repro.errors.SanitizerError` on an invariant violation);
+        the exception propagates out of :meth:`step` / :meth:`run`.
+        """
+        self._observers.append(observer)
 
     # ------------------------------------------------------------------
     # execution
@@ -70,6 +85,9 @@ class Simulator:
             for step in self._fast_steps:
                 step(now)
         self.cycle = now + 1
+        if self._observers:
+            for observer in self._observers:
+                observer.on_cycle(now)
 
     def run(
         self,
@@ -106,4 +124,6 @@ class Simulator:
             return
         for component, _ in self._entries:
             component.finalize(self.cycle)
+        for observer in self._observers:
+            observer.on_finalize(self.cycle)
         self._finalized = True

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
+from repro.errors import UsageError
+
 
 def line_plot(
     series: Mapping[str, Sequence[tuple[float, float]]],
@@ -26,11 +28,11 @@ def line_plot(
     as a single string including a legend and axis ranges.
     """
     if not series:
-        raise ValueError("line_plot requires at least one series")
+        raise UsageError("line_plot requires at least one series")
     markers = "*o+x#@%&$~^=1234567890"
     points = [p for pts in series.values() for p in pts]
     if not points:
-        raise ValueError("line_plot requires at least one data point")
+        raise UsageError("line_plot requires at least one data point")
     xs = [p[0] for p in points]
     ys = [p[1] for p in points]
     x_min, x_max = min(xs), max(xs)

@@ -12,11 +12,13 @@ from __future__ import annotations
 import math
 from collections.abc import Iterable
 
+from repro.errors import UsageError
+
 
 def _collect(values: Iterable[float]) -> list[float]:
     data = [float(v) for v in values]
     if not data:
-        raise ValueError("mean of an empty sequence is undefined")
+        raise UsageError("mean of an empty sequence is undefined")
     return data
 
 
@@ -30,7 +32,7 @@ def geometric_mean(values: Iterable[float]) -> float:
     """Geometric mean; every value must be strictly positive."""
     data = _collect(values)
     if any(v <= 0.0 for v in data):
-        raise ValueError("geometric mean requires strictly positive values")
+        raise UsageError("geometric mean requires strictly positive values")
     return math.exp(sum(math.log(v) for v in data) / len(data))
 
 
@@ -38,5 +40,5 @@ def harmonic_mean(values: Iterable[float]) -> float:
     """Harmonic mean; every value must be strictly positive."""
     data = _collect(values)
     if any(v <= 0.0 for v in data):
-        raise ValueError("harmonic mean requires strictly positive values")
+        raise UsageError("harmonic mean requires strictly positive values")
     return len(data) / sum(1.0 / v for v in data)

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.errors import UsageError
+
 
 @dataclass
 class Accumulator:
@@ -152,7 +154,7 @@ class Histogram:
 
     def __init__(self, name: str = "", bucket_width: int = 8) -> None:
         if bucket_width < 1:
-            raise ValueError("bucket width must be >= 1")
+            raise UsageError("bucket width must be >= 1")
         self.name = name
         self.bucket_width = bucket_width
         self._buckets: dict[int, int] = {}
@@ -161,7 +163,7 @@ class Histogram:
 
     def add(self, value: int) -> None:
         if value < 0:
-            raise ValueError(f"histogram value must be >= 0, got {value}")
+            raise UsageError(f"histogram value must be >= 0, got {value}")
         self._buckets[value // self.bucket_width] = (
             self._buckets.get(value // self.bucket_width, 0) + 1
         )
@@ -175,7 +177,7 @@ class Histogram:
     def percentile(self, q: float) -> float:
         """Value at quantile ``q`` in [0, 1] (bucket-width resolution)."""
         if not 0.0 <= q <= 1.0:
-            raise ValueError(f"quantile must be in [0, 1], got {q}")
+            raise UsageError(f"quantile must be in [0, 1], got {q}")
         if not self.count:
             return 0.0
         target = q * self.count
@@ -192,7 +194,7 @@ class Histogram:
 
     def merge(self, other: "Histogram") -> None:
         if other.bucket_width != self.bucket_width:
-            raise ValueError("cannot merge histograms with different widths")
+            raise UsageError("cannot merge histograms with different widths")
         for bucket, count in other._buckets.items():
             self._buckets[bucket] = self._buckets.get(bucket, 0) + count
         self.count += other.count

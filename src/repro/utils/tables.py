@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
 
+from repro.errors import UsageError
+
 
 def _stringify(cell: object) -> str:
     if isinstance(cell, float):
@@ -42,13 +44,13 @@ def render_table(
     n_cols = len(header_cells)
     for row in body:
         if len(row) != n_cols:
-            raise ValueError(
+            raise UsageError(
                 f"row has {len(row)} cells but table has {n_cols} columns"
             )
     if align is None:
         align = "l" + "r" * (n_cols - 1)
     if len(align) != n_cols or any(a not in "lr" for a in align):
-        raise ValueError(f"bad align spec {align!r} for {n_cols} columns")
+        raise UsageError(f"bad align spec {align!r} for {n_cols} columns")
 
     widths = [len(h) for h in header_cells]
     for row in body:

@@ -1,0 +1,111 @@
+"""Tests for the exception hierarchy and SanitizerError diagnostics."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    CycleLimitExceeded,
+    ReproError,
+    SanitizerError,
+    SimulationError,
+    UsageError,
+    WorkloadError,
+)
+from repro.mem.request import AccessKind, MemoryRequest
+
+
+def make_request(rid, line=0x40):
+    return MemoryRequest(
+        rid=rid, kind=AccessKind.LOAD, line=line, sm_id=0, warp_id=1)
+
+
+class TestHierarchy:
+    @pytest.mark.parametrize("exc_type", [
+        ConfigError, SimulationError, CycleLimitExceeded, WorkloadError,
+        UsageError, SanitizerError,
+    ])
+    def test_everything_derives_from_repro_error(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+
+    def test_sanitizer_error_is_a_simulation_error(self):
+        assert issubclass(SanitizerError, SimulationError)
+
+    def test_usage_error_is_also_a_value_error(self):
+        # Call sites guarding with ``except ValueError`` keep working.
+        assert issubclass(UsageError, ValueError)
+        with pytest.raises(ValueError):
+            raise UsageError("bad argument")
+
+    def test_single_except_clause_catches_all(self):
+        for exc in (ConfigError("c"), SimulationError("s"),
+                    WorkloadError("w"), UsageError("u"),
+                    SanitizerError("z"), CycleLimitExceeded(10)):
+            with pytest.raises(ReproError):
+                raise exc
+
+    def test_cycle_limit_carries_budget(self):
+        exc = CycleLimitExceeded(5000, "drain never completed")
+        assert exc.max_cycles == 5000
+        assert "5000" in str(exc)
+        assert "drain never completed" in str(exc)
+
+
+class TestSanitizerErrorDiagnostics:
+    def test_plain_message(self):
+        exc = SanitizerError("something broke")
+        assert str(exc) == "something broke"
+        assert exc.invariant == ""
+        assert exc.cycle is None
+        assert exc.requests == ()
+        assert exc.queue_occupancies == ()
+
+    def test_invariant_and_cycle_in_message(self):
+        exc = SanitizerError(
+            "request lost", invariant="request-conservation", cycle=1234)
+        assert str(exc).startswith("[request-conservation] request lost")
+        assert "(cycle 1234)" in str(exc)
+
+    def test_requests_dumped(self):
+        requests = (make_request(7), make_request(8, line=0x99))
+        exc = SanitizerError("boom", requests=requests)
+        message = str(exc)
+        assert "in-flight requests (2 total):" in message
+        assert repr(requests[0]) in message
+        assert repr(requests[1]) in message
+        assert exc.requests == requests
+
+    def test_request_dump_truncated(self):
+        many = tuple(make_request(i) for i in range(40))
+        exc = SanitizerError("boom", requests=many)
+        message = str(exc)
+        assert "in-flight requests (40 total):" in message
+        assert repr(many[SanitizerError.MAX_DUMPED_REQUESTS - 1]) in message
+        assert repr(many[SanitizerError.MAX_DUMPED_REQUESTS]) not in message
+        assert "... and 24 more" in message
+        # The full tuple is preserved on the exception object.
+        assert len(exc.requests) == 40
+
+    def test_queue_occupancies_rendered_non_empty_only(self):
+        exc = SanitizerError(
+            "boom",
+            queue_occupancies=(("l2.accessq", 8, 8), ("dram.schedq", 0, 16)))
+        message = str(exc)
+        assert "l2.accessq: 8/8" in message
+        assert "dram.schedq" not in message
+
+    def test_all_empty_queues_render_no_section(self):
+        exc = SanitizerError(
+            "boom", queue_occupancies=(("q", 0, 4),))
+        assert "queue occupancies" not in str(exc)
+
+    def test_full_diagnostic_composition(self):
+        exc = SanitizerError(
+            "2 problems",
+            invariant="epoch-check",
+            cycle=99,
+            requests=(make_request(3),),
+            queue_occupancies=(("l1.missq", 2, 4),))
+        lines = str(exc).splitlines()
+        assert lines[0] == "[epoch-check] 2 problems (cycle 99)"
+        assert any("MemoryRequest(#3" in line for line in lines)
+        assert "  l1.missq: 2/4" in lines

@@ -1,0 +1,198 @@
+"""Tests for the custom lint pass (repro.analysis.lint).
+
+One positive and one negative case per rule, the noqa escape hatch, the
+hot-path inference from file paths, the CLI exit codes — and the meta
+check that the shipped source tree itself lints clean.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.lint import lint_paths, lint_source, run_lint
+from repro.errors import UsageError
+
+REPO_SRC = Path(__file__).resolve().parent.parent / "src"
+
+
+def codes(source, path="src/repro/core/x.py", hot=None):
+    return [v.code for v in lint_source(source, path, hot=hot)]
+
+
+class TestREP001Nondeterminism:
+    def test_global_random_flagged(self):
+        assert codes("import random\nx = random.random()\n") == ["REP001"]
+
+    def test_global_randint_flagged(self):
+        assert codes("import random\nx = random.randint(0, 7)\n") == ["REP001"]
+
+    def test_imported_random_name_flagged(self):
+        source = "from random import shuffle\nshuffle(items)\n"
+        assert codes(source) == ["REP001"]
+
+    def test_seeded_generator_allowed(self):
+        source = "import random\nrng = random.Random(1)\nx = rng.random()\n"
+        assert codes(source) == []
+
+    def test_wall_clock_flagged(self):
+        assert codes("import time\nt = time.time()\n") == ["REP001"]
+        assert codes("import time\nt = time.perf_counter()\n") == ["REP001"]
+
+    def test_datetime_now_flagged(self):
+        source = "import datetime\nt = datetime.datetime.now()\n"
+        assert codes(source) == ["REP001"]
+
+
+class TestREP002Assert:
+    def test_assert_flagged(self):
+        assert codes("assert x is not None\n") == ["REP002"]
+
+    def test_raise_instead_passes(self):
+        source = (
+            "from repro.errors import SimulationError\n"
+            "if x is None:\n"
+            "    raise SimulationError('x vanished')\n"
+        )
+        assert codes(source) == []
+
+
+class TestREP003ExceptionHierarchy:
+    def test_builtin_raise_flagged(self):
+        assert codes("raise ValueError('bad')\n") == ["REP003"]
+        assert codes("raise RuntimeError('bad')\n") == ["REP003"]
+
+    def test_repro_error_allowed(self):
+        assert codes("raise SimulationError('bad')\n") == []
+        assert codes("raise errors.ConfigError('bad')\n") == []
+
+    def test_usage_error_allowed(self):
+        assert codes("raise UsageError('bad')\n") == []
+
+    def test_not_implemented_allowed(self):
+        assert codes("raise NotImplementedError\n") == []
+
+    def test_bare_reraise_allowed(self):
+        assert codes("try:\n    f()\nexcept KeyError:\n    raise\n") == []
+
+    def test_local_subclass_allowed(self):
+        source = (
+            "class MyError(SimulationError):\n"
+            "    pass\n"
+            "raise MyError('bad')\n"
+        )
+        assert codes(source) == []
+
+    def test_unknown_name_not_flagged(self):
+        # A name the linter cannot resolve is given the benefit of the doubt.
+        assert codes("raise some_exception_factory()\n") == []
+
+
+class TestREP004HotPathSlots:
+    BARE = "from dataclasses import dataclass\n@dataclass\nclass P:\n    x: int\n"
+    SLOTTED = (
+        "from dataclasses import dataclass\n"
+        "@dataclass(slots=True)\nclass P:\n    x: int\n"
+    )
+
+    def test_hot_path_dataclass_without_slots_flagged(self):
+        assert codes(self.BARE, path="src/repro/mem/x.py") == ["REP004"]
+
+    def test_hot_path_dataclass_with_slots_passes(self):
+        assert codes(self.SLOTTED, path="src/repro/cache/x.py") == []
+
+    def test_cold_path_dataclass_exempt(self):
+        assert codes(self.BARE, path="src/repro/core/x.py") == []
+
+    def test_hot_inferred_from_each_hot_package(self):
+        for package in ("mem", "cache", "dram", "icnt", "cores"):
+            path = f"src/repro/{package}/x.py"
+            assert codes(self.BARE, path=path) == ["REP004"], package
+
+    def test_explicit_hot_overrides_path(self):
+        assert codes(self.BARE, path="elsewhere.py", hot=True) == ["REP004"]
+        assert codes(self.BARE, path="src/repro/dram/x.py", hot=False) == []
+
+    def test_plain_class_exempt(self):
+        assert codes("class P:\n    pass\n", hot=True) == []
+
+
+class TestREP005FrozenConfigMutation:
+    def test_direct_config_store_flagged(self):
+        assert codes("config.l1_size = 4\n") == ["REP005"]
+
+    def test_nested_config_store_flagged(self):
+        assert codes("self._config.l1.assoc = 2\n") == ["REP005"]
+        assert codes("self.cfg.dram.channels = 8\n") == ["REP005"]
+
+    def test_augmented_store_flagged(self):
+        assert codes("config.l1.assoc += 1\n") == ["REP005"]
+
+    def test_binding_a_config_attribute_allowed(self):
+        # Storing *the config itself* onto self is the normal idiom.
+        assert codes("self.config = config\n") == []
+
+    def test_reading_config_allowed(self):
+        assert codes("assoc = config.l1.assoc\n") == []
+
+
+class TestSuppression:
+    def test_targeted_noqa(self):
+        assert codes("assert x  # noqa: REP002\n") == []
+
+    def test_bare_noqa(self):
+        assert codes("assert x  # noqa\n") == []
+
+    def test_noqa_for_other_code_does_not_suppress(self):
+        assert codes("assert x  # noqa: REP001\n") == ["REP002"]
+
+
+class TestEntryPoints:
+    def test_syntax_error_raises_usage_error(self):
+        with pytest.raises(UsageError, match="syntax error"):
+            lint_source("def broken(:\n", "bad.py")
+
+    def test_violations_sorted_by_line(self):
+        source = "assert b\nassert a\n"
+        violations = lint_source(source, "x.py")
+        assert [v.line for v in violations] == [1, 2]
+
+    def test_render_format(self):
+        violation = lint_source("assert x\n", "pkg/mod.py")[0]
+        assert violation.render() == (
+            "pkg/mod.py:1:0: REP002 assert vanishes under python -O; raise "
+            "SimulationError (or another ReproError) for protocol violations"
+        )
+
+    def test_lint_paths_walks_directories(self, tmp_path):
+        package = tmp_path / "repro" / "mem"
+        package.mkdir(parents=True)
+        (package / "bad.py").write_text("assert x\n")
+        (package / "good.py").write_text("x = 1\n")
+        pycache = package / "__pycache__"
+        pycache.mkdir()
+        (pycache / "skipped.py").write_text("assert x\n")
+        violations = lint_paths([str(tmp_path)])
+        assert [v.code for v in violations] == ["REP002"]
+
+    def test_lint_paths_rejects_non_python(self, tmp_path):
+        target = tmp_path / "notes.txt"
+        target.write_text("hello")
+        with pytest.raises(UsageError, match="not a python file"):
+            lint_paths([str(target)])
+
+    def test_run_lint_exit_codes(self, tmp_path, capsys):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert run_lint([str(clean)]) == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text("import random\nx = random.random()\n")
+        assert run_lint([str(dirty)]) == 1
+        out = capsys.readouterr().out
+        assert "REP001" in out
+        assert "1 violation(s)" in out
+
+
+class TestShippedTreeIsClean:
+    def test_src_lints_clean(self):
+        # The tree the repo ships must satisfy its own lint rules.
+        assert lint_paths([str(REPO_SRC)]) == []
