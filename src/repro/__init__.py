@@ -81,6 +81,7 @@ from repro.core.validation import Check, ValidationReport, validate_reproduction
 from repro.workloads.program import KernelProgram
 from repro.workloads.synthetic import SyntheticKernelSpec, build_kernel
 from repro.workloads.suite import BENCHMARKS, PAPER_SUITE, SPECS, get_benchmark
+from repro.telemetry import RequestTracer, TimeSeriesProbe
 
 __version__ = "1.0.0"
 
@@ -138,6 +139,8 @@ __all__ = [
     "Check",
     "ValidationReport",
     "validate_reproduction",
+    "RequestTracer",
+    "TimeSeriesProbe",
     "KernelProgram",
     "SyntheticKernelSpec",
     "build_kernel",

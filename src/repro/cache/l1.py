@@ -112,6 +112,7 @@ class L1DCache:
     def _access_load(self, request: MemoryRequest, now: int) -> AccessResult:
         if self.tags.lookup(request.line, now):
             self.hits += 1
+            request.stamp("l1_hit", now)
             self._hit_pipe.insert(request, now)
             return AccessResult.HIT
         probe = self.mshr.probe(request.line)

@@ -5,22 +5,38 @@ Every experiment in the paper can be regenerated from the shell::
     repro suite                     # list the benchmark models
     repro table1                    # print Table I
     repro run lbm                   # run one benchmark, print its metrics
+    repro run lbm --timeline        # ... plus per-window telemetry sparklines
     repro congestion                # Section III queue-occupancy study
     repro latency-profile           # Figure 1
     repro explore                   # Section IV design-space exploration
     repro diagnose                  # classify each benchmark's bottleneck
     repro breakdown lbm             # per-hop latency breakdown of one kernel
+    repro trace lbm --out trace.json  # Chrome/Perfetto trace of sampled requests
     repro replicate sc              # seed-sensitivity of one benchmark
     repro export out.csv            # dump suite metrics as CSV
+    repro export out.json --format json  # ... or nested JSON
     repro validate                  # evaluate every claim of the paper
 
 All experiment commands accept ``--scale`` (iteration scale, default 1.0;
 smaller is faster), ``--config`` (small / fermi / tiny) and ``--seed``.
+
+Observability: ``repro run --timeline`` attaches the
+:class:`repro.telemetry.TimeSeriesProbe` and renders cycle-windowed IPC /
+queue-congestion / occupancy sparklines (``--window`` sets the window
+length); ``repro trace`` attaches the
+:class:`repro.telemetry.RequestTracer` and writes Chrome trace-event JSON
+(open in chrome://tracing or https://ui.perfetto.dev) along with a
+per-hop latency digest (``--stride`` / ``--limit`` control sampling).
+
+Errors deriving from :class:`repro.errors.ReproError` (bad usage, cycle
+limits, sanitizer violations) print as ``error: ...`` on stderr with exit
+code 2 instead of a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from collections.abc import Sequence
 
@@ -36,8 +52,14 @@ from repro.core.latency_profile import profile_latency_tolerance
 from repro.core.metrics import run_kernel
 from repro.core.replication import replicate
 from repro.core.validation import validate_reproduction
-from repro.utils.export import metrics_to_csv, write_text
-from repro.core.report import render_congestion, render_figure1, render_section_iv
+from repro.errors import ReproError
+from repro.utils.export import metrics_to_csv, metrics_to_json, write_text
+from repro.core.report import (
+    render_congestion,
+    render_figure1,
+    render_section_iv,
+    render_timeline,
+)
 from repro.core.synergy import analyze_synergy
 from repro.sim.config import GPUConfig, fermi_gtx480, small_gpu, tiny_gpu
 from repro.utils.tables import render_table
@@ -93,7 +115,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = config.with_magic_memory(args.magic_latency)
     metrics = run_kernel(
         config, get_benchmark(args.benchmark, args.scale), seed=args.seed,
-        sanitize=args.sanitize, sanitize_interval=args.sanitize_interval)
+        sanitize=args.sanitize, sanitize_interval=args.sanitize_interval,
+        timeline=args.timeline, timeline_window=args.window)
     rows = [
         ["cycles", metrics.cycles],
         ["instructions", metrics.instructions],
@@ -120,6 +143,41 @@ def _cmd_run(args: argparse.Namespace) -> int:
             f"{sanitizer['requests_retired']} retired, "
             f"{sanitizer['requests_in_flight']} in flight — all invariants held"
         )
+    timeline = metrics.extras.get("timeline")
+    if timeline is not None:
+        print()
+        print(render_timeline(timeline))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    config = _config(args)
+    metrics = run_kernel(
+        config, get_benchmark(args.benchmark, args.scale), seed=args.seed,
+        trace=True, trace_stride=args.stride, trace_limit=args.limit)
+    trace = metrics.extras["trace"]
+    path = write_text(
+        args.out, json.dumps(trace, separators=(",", ":")) + "\n")
+    meta = trace["otherData"]
+    spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    print(
+        f"wrote {path}: {spans} spans from {meta['requests_sampled']} "
+        f"sampled requests (of {meta['requests_created']} created, "
+        f"stride {meta['stride']}) — open in chrome://tracing or "
+        "https://ui.perfetto.dev"
+    )
+    hops = metrics.extras["trace_hops"]
+    if hops:
+        rows = [
+            [h["hop"], h["count"], f"{h['mean']:.1f}",
+             f"{h['p50']:.0f}", f"{h['p95']:.0f}"]
+            for h in hops
+        ]
+        print()
+        print(render_table(
+            ["hop", "requests", "mean cy", "p50", "p95"], rows,
+            title="Per-hop latencies over the sampled requests",
+            align="lrrrr"))
     return 0
 
 
@@ -198,8 +256,12 @@ def _cmd_export(args: argparse.Namespace) -> int:
         run_kernel(config, get_benchmark(name, args.scale), seed=args.seed)
         for name in args.benchmarks
     ]
-    path = write_text(args.output, metrics_to_csv(runs))
-    print(f"wrote {len(runs)} runs to {path}")
+    if args.format == "json":
+        text = metrics_to_json(runs)
+    else:
+        text = metrics_to_csv(runs)
+    path = write_text(args.output, text)
+    print(f"wrote {len(runs)} runs to {path} ({args.format})")
     return 0
 
 
@@ -235,8 +297,33 @@ def build_parser() -> argparse.ArgumentParser:
         "--sanitize-interval", type=int, default=64, metavar="CYCLES",
         help="cycles between sanitizer epochs (default: 64; 1 checks "
              "every cycle)")
+    run.add_argument(
+        "--timeline", action="store_true",
+        help="attach the telemetry probe and print per-window IPC / "
+             "queue-congestion / occupancy sparklines")
+    run.add_argument(
+        "--window", type=int, default=None, metavar="CYCLES",
+        help="telemetry window length in cycles (default: 2000)")
     _add_common(run)
     run.set_defaults(func=_cmd_run)
+
+    trace = sub.add_parser(
+        "trace",
+        help="run one benchmark and write a Chrome/Perfetto trace of "
+             "sampled requests")
+    trace.add_argument("benchmark", choices=sorted(SPECS))
+    trace.add_argument(
+        "--out", default="trace.json", metavar="PATH",
+        help="output path for the trace-event JSON (default: trace.json)")
+    trace.add_argument(
+        "--stride", type=int, default=None, metavar="N",
+        help="trace every N-th coalescer-issued request (default: 16; "
+             "1 traces everything)")
+    trace.add_argument(
+        "--limit", type=int, default=None, metavar="N",
+        help="cap on traced requests (default: 4096)")
+    _add_common(trace)
+    trace.set_defaults(func=_cmd_trace)
 
     lint = sub.add_parser(
         "lint", help="run the repo's custom static lint rules (REP001-005)")
@@ -286,8 +373,12 @@ def build_parser() -> argparse.ArgumentParser:
     repl.set_defaults(func=_cmd_replicate)
 
     export = sub.add_parser(
-        "export", help="run the suite and export metrics as CSV")
-    export.add_argument("output", help="CSV output path")
+        "export", help="run the suite and export metrics as CSV or JSON")
+    export.add_argument("output", help="output path")
+    export.add_argument(
+        "--format", choices=["csv", "json"], default="csv",
+        help="export format: flat csv or nested json preserving the "
+             "queue families (default: csv)")
     _add_common(export)
     export.set_defaults(func=_cmd_export)
 
@@ -301,7 +392,17 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        # One line per error (multi-line diagnostics are indented under
+        # it) instead of a traceback; exit code 2 distinguishes simulator
+        # failures from the validation-failed exit code 1.
+        message = str(exc).splitlines() or [exc.__class__.__name__]
+        print(f"error: {message[0]}", file=sys.stderr)
+        for line in message[1:]:
+            print(f"  {line}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

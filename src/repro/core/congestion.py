@@ -16,6 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Mapping, Sequence
 
+from repro.sim.engine import DEFAULT_MAX_CYCLES
 from repro.core.metrics import RunMetrics, run_kernel
 from repro.sim.config import GPUConfig
 from repro.utils.means import arithmetic_mean
@@ -109,7 +110,7 @@ def measure_congestion(
     benchmarks: Sequence[str] = PAPER_SUITE,
     iteration_scale: float = 1.0,
     seed: int = 1,
-    max_cycles: int = 5_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> CongestionReport:
     """Run the suite on ``config`` and gather the Section III measurements."""
     runs = {}

@@ -25,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from collections.abc import Mapping, Sequence
 
+from repro.sim.engine import DEFAULT_MAX_CYCLES
 from repro.core.design_space import scale_levels, scaled_config
 from repro.core.metrics import RunMetrics, run_kernel
 from repro.sim.config import GPUConfig
@@ -104,7 +105,7 @@ def explore_design_space(
     configs: Mapping[str, tuple[str, ...]] | None = None,
     iteration_scale: float = 1.0,
     seed: int = 1,
-    max_cycles: int = 5_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> ExplorationResult:
     """Run the Section IV experiment matrix.
 
@@ -155,7 +156,7 @@ def sweep_parameter(
     benchmark: str,
     iteration_scale: float = 1.0,
     seed: int = 1,
-    max_cycles: int = 5_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> ParameterSweep:
     """Run one benchmark across several values of one Table I parameter."""
     kernel = get_benchmark(benchmark, iteration_scale)

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.sim.engine import DEFAULT_MAX_CYCLES
 from repro.gpu import GPU
 from repro.mem.request import MemoryRequest
 from repro.sim.config import GPUConfig
@@ -100,7 +101,7 @@ def measure_latency_breakdown(
     benchmark: str | KernelProgram,
     iteration_scale: float = 1.0,
     seed: int = 1,
-    max_cycles: int = 5_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> LatencyBreakdown:
     """Run a kernel and collect its per-hop latency breakdown.
 

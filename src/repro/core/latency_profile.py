@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Sequence
 
+from repro.sim.engine import DEFAULT_MAX_CYCLES
 from repro.core.metrics import RunMetrics, run_kernel
 from repro.sim.config import GPUConfig
 from repro.workloads.program import KernelProgram
@@ -112,7 +113,7 @@ def profile_latency_tolerance(
     iteration_scale: float = 1.0,
     seed: int = 1,
     baseline: RunMetrics | None = None,
-    max_cycles: int = 5_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> LatencyProfile:
     """Produce one benchmark's Figure 1 curve.
 

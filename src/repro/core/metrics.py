@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.gpu import GPU
 from repro.sim.config import GPUConfig
+from repro.sim.engine import DEFAULT_MAX_CYCLES
 from repro.utils.means import arithmetic_mean
 from repro.workloads.program import KernelProgram
 
@@ -191,9 +192,15 @@ def run_kernel(
     config: GPUConfig,
     kernel: KernelProgram,
     seed: int = 1,
-    max_cycles: int = 5_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
     sanitize: bool = False,
     sanitize_interval: int = 64,
+    timeline: bool = False,
+    timeline_window: int | None = None,
+    timeline_max_windows: int | None = None,
+    trace: bool = False,
+    trace_stride: int | None = None,
+    trace_limit: int | None = None,
 ) -> RunMetrics:
     """Build, run and measure one kernel on one configuration.
 
@@ -201,6 +208,14 @@ def run_kernel(
     model's invariants every ``sanitize_interval`` cycles and raises
     :class:`~repro.errors.SanitizerError` on any violation; its counters
     land in ``RunMetrics.extras['sanitizer']``.
+
+    With ``timeline``, a :class:`repro.telemetry.TimeSeriesProbe` samples
+    cycle-windowed series (IPC, queue congestion, MSHR occupancy, DRAM
+    bus utilization) into ``RunMetrics.extras['timeline']``; with
+    ``trace``, a :class:`repro.telemetry.RequestTracer` stride-samples
+    requests into a Chrome trace (``extras['trace']``) plus a per-hop
+    latency digest (``extras['trace_hops']``).  All instrumentation is
+    opt-in: the default run is bit-identical to an uninstrumented one.
     """
     gpu = GPU(config, kernel, seed=seed)
     sanitizer = None
@@ -208,8 +223,46 @@ def run_kernel(
         from repro.analysis.sanitizer import Sanitizer
 
         sanitizer = Sanitizer.attach(gpu, interval=sanitize_interval)
+    probe = None
+    tracer = None
+    if timeline or trace:
+        from repro import telemetry
+
+        if timeline:
+            probe = telemetry.TimeSeriesProbe.attach(
+                gpu,
+                window=(
+                    telemetry.DEFAULT_WINDOW
+                    if timeline_window is None
+                    else timeline_window
+                ),
+                max_windows=(
+                    telemetry.DEFAULT_MAX_WINDOWS
+                    if timeline_max_windows is None
+                    else timeline_max_windows
+                ),
+            )
+        if trace:
+            tracer = telemetry.RequestTracer.attach(
+                gpu,
+                stride=(
+                    telemetry.DEFAULT_TRACE_STRIDE
+                    if trace_stride is None
+                    else trace_stride
+                ),
+                limit=(
+                    telemetry.DEFAULT_TRACE_LIMIT
+                    if trace_limit is None
+                    else trace_limit
+                ),
+            )
     gpu.run(max_cycles=max_cycles)
     metrics = collect_metrics(gpu)
     if sanitizer is not None:
         metrics.extras["sanitizer"] = sanitizer.stats()
+    if probe is not None:
+        metrics.extras["timeline"] = probe.summary()
+    if tracer is not None:
+        metrics.extras["trace"] = tracer.to_chrome_trace()
+        metrics.extras["trace_hops"] = tracer.hop_summary()
     return metrics

@@ -13,6 +13,7 @@ import math
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass
 
+from repro.sim.engine import DEFAULT_MAX_CYCLES
 from repro.core.metrics import RunMetrics, run_kernel
 from repro.sim.config import GPUConfig
 from repro.utils.tables import render_table
@@ -93,7 +94,7 @@ def replicate(
     seeds: Sequence[int] = (1, 2, 3, 4, 5),
     iteration_scale: float = 1.0,
     metrics: dict[str, Callable[[RunMetrics], float]] | None = None,
-    max_cycles: int = 5_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> ReplicationReport:
     """Run a benchmark once per seed and aggregate the chosen metrics."""
     if isinstance(benchmark, str):

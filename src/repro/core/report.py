@@ -17,7 +17,7 @@ from repro.core.latency_profile import (
     LatencyProfile,
 )
 from repro.core.synergy import SynergyAnalysis
-from repro.utils.ascii_plot import line_plot
+from repro.utils.ascii_plot import line_plot, sparkline
 from repro.utils.tables import render_table
 
 #: Paper values for side-by-side comparison in reports.
@@ -70,6 +70,67 @@ def render_figure1(profiles: Sequence[LatencyProfile], width: int = 78) -> str:
         ),
     )
     return f"{plot}\n\n{table}"
+
+
+#: Sparkline width cap for the timeline report.
+_TIMELINE_WIDTH = 60
+
+
+def render_timeline(timeline: Mapping) -> str:
+    """ASCII sparkline view of a telemetry timeline.
+
+    ``timeline`` is ``RunMetrics.extras['timeline']`` as produced by
+    :meth:`repro.telemetry.TimeSeriesProbe.summary`: one row per series,
+    one character per window (long runs are bucket-averaged down to the
+    display width), with the series' min/max printed alongside.
+    """
+    windows = timeline.get("windows", [])
+    window_len = timeline.get("window", 0)
+    if not windows:
+        return "timeline: no windows captured (empty run)"
+    dropped = timeline.get("dropped", 0)
+    span = f"cycles {windows[0]['start']}..{windows[-1]['end']}"
+    header = (
+        f"Cycle-windowed telemetry: {len(windows)} windows x "
+        f"{window_len} cycles ({span})"
+    )
+    if dropped:
+        header += f"; {dropped} oldest windows dropped"
+
+    rows: list[tuple[str, list[float], str]] = [
+        ("IPC", [w["ipc"] for w in windows], "{:.2f}"),
+    ]
+    for family in timeline.get("queue_families", []):
+        rows.append((
+            f"{family} full",
+            [w["queue_full_fraction"].get(family, 0.0) for w in windows],
+            "{:.0%}",
+        ))
+    for family in windows[0].get("mshr_occupancy", {}):
+        rows.append((
+            f"{family} occupancy",
+            [w["mshr_occupancy"].get(family, 0.0) for w in windows],
+            "{:.0%}",
+        ))
+    rows.append((
+        "dram bus util",
+        [w["dram_bus_utilization"] for w in windows],
+        "{:.0%}",
+    ))
+
+    label_width = max(len(label) for label, _, _ in rows)
+    lines = [header]
+    for label, values, fmt in rows:
+        lo, hi = min(values), max(values)
+        lines.append(
+            f"{label:<{label_width}} |{sparkline(values, _TIMELINE_WIDTH)}| "
+            f"[{fmt.format(lo)} .. {fmt.format(hi)}]"
+        )
+    lines.append(
+        "(each column is one window; density ramp ' .:-=+*#%@' scales "
+        "min..max per row)"
+    )
+    return "\n".join(lines)
 
 
 def render_congestion(report: CongestionReport) -> str:

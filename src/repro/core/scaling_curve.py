@@ -18,6 +18,7 @@ import math
 from collections.abc import Mapping, Sequence
 from dataclasses import dataclass
 
+from repro.sim.engine import DEFAULT_MAX_CYCLES
 from repro.core.design_space import parameters_for_level
 from repro.core.metrics import RunMetrics, run_kernel
 from repro.errors import ConfigError
@@ -80,7 +81,7 @@ def sweep_scaling_coefficient(
     benchmarks: Sequence[str] = PAPER_SUITE,
     iteration_scale: float = 1.0,
     seed: int = 1,
-    max_cycles: int = 5_000_000,
+    max_cycles: int = DEFAULT_MAX_CYCLES,
 ) -> ScalingCurve:
     """Run ``level`` at several scaling coefficients over ``benchmarks``."""
     if 1 not in factors:

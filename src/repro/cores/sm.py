@@ -286,6 +286,22 @@ class SM(Component):
         yield from self._ldst_queue
         yield from self.l1.inflight_requests()
 
+    # ------------------------------------------------------------------
+    # telemetry sampling
+    # ------------------------------------------------------------------
+    def sample_queues(self):
+        return (("l1_missq", self.l1.miss_queue),)
+
+    def sample_mshrs(self):
+        return (("l1_mshr", self.l1.mshr),)
+
+    def sample_counters(self):
+        return (
+            ("instructions", self.instructions),
+            ("mem_pipeline_stall_cycles", self.mem_pipeline_stall_cycles),
+            ("l1_misses_issued", self.l1.misses_issued),
+        )
+
     @property
     def ipc(self) -> float:
         return self.instructions / self.cycles if self.cycles else 0.0

@@ -219,6 +219,22 @@ class DRAMChannel(Component):
     def inspect_inflight(self):
         yield from self._completions
 
+    # ------------------------------------------------------------------
+    # telemetry sampling
+    # ------------------------------------------------------------------
+    def sample_queues(self):
+        return (
+            ("dram_schedq", self.sched_queue),
+            ("dram_returnq", self.return_queue),
+        )
+
+    def sample_counters(self):
+        return (
+            ("dram_bus_busy_cycles", self.bus_busy_cycles),
+            ("dram_reads", self.reads),
+            ("dram_writes", self.writes),
+        )
+
     @property
     def row_hit_rate(self) -> float:
         total = sum(b.accesses for b in self.banks)

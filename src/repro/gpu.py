@@ -28,7 +28,7 @@ from repro.icnt.ring import RingNetwork
 from repro.mem.address import AddressMapper
 from repro.mem.request import RequestFactory
 from repro.sim.config import GPUConfig
-from repro.sim.engine import Simulator
+from repro.sim.engine import DEFAULT_MAX_CYCLES, Simulator
 from repro.workloads.program import KernelProgram
 
 
@@ -142,7 +142,7 @@ class GPU:
         """All warps on all SMs retired."""
         return all(sm.done for sm in self.sms)
 
-    def run(self, max_cycles: int = 5_000_000) -> int:
+    def run(self, max_cycles: int = DEFAULT_MAX_CYCLES) -> int:
         """Run to completion; returns the cycle at which all warps retired."""
         return self.sim.run(self.done, max_cycles=max_cycles)
 

@@ -169,6 +169,12 @@ class Crossbar(Component):
             for packet in port.fifo:
                 yield packet.request
 
+    def sample_counters(self):
+        return (
+            (f"{self.name}_flits_sent", self.flits_sent),
+            (f"{self.name}_packets_delivered", self.packets_delivered),
+        )
+
     @property
     def utilization(self) -> float:
         """Flits moved per output-port cycle (0..1 per port on average)."""

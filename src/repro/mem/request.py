@@ -65,6 +65,15 @@ class MemoryRequest:
         """Record that the request reached ``hop`` at cycle ``now``."""
         self.timestamps[hop] = now
 
+    def hops(self) -> list[tuple[str, int]]:
+        """Recorded ``(hop, cycle)`` pairs in chronological order.
+
+        Ties (several hops stamped on the same cycle) keep recording
+        order, so the sequence is the request's actual itinerary — the
+        basis for :mod:`repro.telemetry` trace spans.
+        """
+        return sorted(self.timestamps.items(), key=lambda item: item[1])
+
     def latency(self, start_hop: str, end_hop: str) -> int | None:
         """Cycles between two recorded hops, or None if either is missing."""
         start = self.timestamps.get(start_hop)

@@ -21,6 +21,18 @@ buffers (:meth:`inspect_inflight` — pipeline registers, crossbar FIFOs,
 pending-response lists; *not* MSHR residence, which the sanitizer reads
 from the tables themselves).  The defaults return empty iterables so plain
 components need not care.
+
+Telemetry
+---------
+The ``sample_*`` hooks are the same idea for the :mod:`repro.telemetry`
+time-series probe, but labelled: each yields ``(label, thing)`` pairs
+where the label names the *family* the instrument belongs to
+(``"l2_accessq"``, ``"l1_mshr"``, ``"instructions"``), so the probe can
+aggregate the instances living on different components into one
+per-window series.  ``sample_counters`` yields *cumulative monotone*
+counters; the probe reports their per-window deltas.  The defaults return
+empty iterables, so — like the sanitizer — telemetry is strictly opt-in
+and free when no probe is attached.
 """
 
 from __future__ import annotations
@@ -58,4 +70,19 @@ class Component:
 
     def inspect_inflight(self) -> Iterable:
         """Requests held in transit buffers other than the above queues."""
+        return ()
+
+    # ------------------------------------------------------------------
+    # telemetry sampling hooks
+    # ------------------------------------------------------------------
+    def sample_queues(self) -> Iterable[tuple[str, object]]:
+        """``(family, StatQueue)`` pairs for windowed congestion series."""
+        return ()
+
+    def sample_mshrs(self) -> Iterable[tuple[str, object]]:
+        """``(family, MSHRTable)`` pairs for windowed occupancy series."""
+        return ()
+
+    def sample_counters(self) -> Iterable[tuple[str, float]]:
+        """``(name, cumulative value)`` monotone counters for delta series."""
         return ()

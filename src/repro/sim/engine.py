@@ -21,6 +21,12 @@ from repro.errors import CycleLimitExceeded, SimulationError
 from repro.sim.clock import CORE_CLOCK, ClockDomain
 from repro.sim.component import Component
 
+#: Default cycle budget for a simulation run.  Shared by
+#: :meth:`Simulator.run`, :meth:`repro.gpu.GPU.run` and
+#: :func:`repro.core.metrics.run_kernel` so every entry point fails at the
+#: same, single place when an experiment is mis-calibrated.
+DEFAULT_MAX_CYCLES = 5_000_000
+
 
 class Simulator:
     """Owns the clock and the ordered component list."""
@@ -92,7 +98,7 @@ class Simulator:
     def run(
         self,
         done: Callable[[], bool],
-        max_cycles: int = 10_000_000,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
         drain: bool = True,
     ) -> int:
         """Run until ``done()`` is true; returns the final cycle count.

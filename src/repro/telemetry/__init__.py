@@ -1,0 +1,48 @@
+"""Observability layer for the simulator: time series and request traces.
+
+The paper's central claims are *temporal* — queues are full for given
+fractions of their usage lifetime, congestion latency dominates the L1
+miss round trip — yet :class:`~repro.core.metrics.RunMetrics` only shows
+end-of-run aggregates.  This package turns the reproduction into an
+instrument:
+
+* :class:`TimeSeriesProbe` — a :class:`~repro.sim.engine.Simulator`
+  observer that folds the run into fixed-cycle windows: per-window IPC,
+  full/busy fractions and depths for every Table I queue family, L1/L2
+  MSHR occupancy and DRAM bus utilization.  A ring-buffer cap keeps long
+  runs O(1) in memory.
+* :class:`RequestTracer` — deterministic stride sampling of
+  factory-issued requests; converts their per-hop ``timestamps`` into
+  Chrome trace-event JSON (one track per component, loadable in
+  chrome://tracing or https://ui.perfetto.dev) and a per-hop latency
+  histogram registry.
+
+Both are strictly opt-in: with nothing attached the simulator executes
+exactly the same code it always did (the observer list is empty and the
+request factory keeps its original listener), so results are bit-identical
+to an uninstrumented run.
+"""
+
+from repro.telemetry.timeseries import (
+    DEFAULT_MAX_WINDOWS,
+    DEFAULT_WINDOW,
+    TimeSeriesProbe,
+    WindowSample,
+)
+from repro.telemetry.tracer import (
+    DEFAULT_TRACE_LIMIT,
+    DEFAULT_TRACE_STRIDE,
+    RequestTracer,
+    hop_track,
+)
+
+__all__ = [
+    "DEFAULT_MAX_WINDOWS",
+    "DEFAULT_TRACE_LIMIT",
+    "DEFAULT_TRACE_STRIDE",
+    "DEFAULT_WINDOW",
+    "RequestTracer",
+    "TimeSeriesProbe",
+    "WindowSample",
+    "hop_track",
+]

@@ -1,10 +1,11 @@
-"""Minimal ASCII line plots.
+"""Minimal ASCII line plots and sparklines.
 
-Used to render Figure 1 (the latency-tolerance profile) in terminal output
-and EXPERIMENTS.md without a plotting dependency.  Each series is drawn with
-its own marker character on a shared canvas; later series overwrite earlier
-ones where they collide, which is acceptable for the qualitative shape
-comparisons these plots support.
+Used to render Figure 1 (the latency-tolerance profile) and the telemetry
+timeline in terminal output and EXPERIMENTS.md without a plotting
+dependency.  Each line-plot series is drawn with its own marker character
+on a shared canvas; later series overwrite earlier ones where they
+collide, which is acceptable for the qualitative shape comparisons these
+plots support.
 """
 
 from __future__ import annotations
@@ -12,6 +13,64 @@ from __future__ import annotations
 from collections.abc import Mapping, Sequence
 
 from repro.errors import UsageError
+
+#: Density ramp for :func:`sparkline`, lightest to darkest (pure ASCII so
+#: reports render everywhere EXPERIMENTS.md does).
+SPARK_LEVELS = " .:-=+*#%@"
+
+
+def resample(values: Sequence[float], width: int) -> list[float]:
+    """Shrink ``values`` to at most ``width`` points by bucket-averaging.
+
+    Keeps the series' shape while bounding rendered line length; series
+    already short enough are returned as given.
+    """
+    if width < 1:
+        raise UsageError(f"resample width must be >= 1, got {width}")
+    values = list(values)
+    n = len(values)
+    if n <= width:
+        return values
+    out = []
+    for i in range(width):
+        lo = i * n // width
+        hi = max(lo + 1, (i + 1) * n // width)
+        bucket = values[lo:hi]
+        out.append(sum(bucket) / len(bucket))
+    return out
+
+
+def sparkline(
+    values: Sequence[float],
+    width: int | None = None,
+    lo: float | None = None,
+    hi: float | None = None,
+) -> str:
+    """Render ``values`` as a one-line density sparkline.
+
+    Each value maps to a character of :data:`SPARK_LEVELS` scaled between
+    ``lo`` and ``hi`` (defaulting to the series' own min/max, so the line
+    always uses the full ramp).  ``width`` caps the output length via
+    :func:`resample`.
+    """
+    values = list(values)
+    if not values:
+        raise UsageError("sparkline requires at least one value")
+    if width is not None:
+        values = resample(values, width)
+    lo = min(values) if lo is None else lo
+    hi = max(values) if hi is None else hi
+    span = hi - lo
+    top = len(SPARK_LEVELS) - 1
+    if span <= 0:
+        level = 0 if hi <= 0 else top // 2
+        return SPARK_LEVELS[level] * len(values)
+    chars = []
+    for value in values:
+        scaled = (value - lo) / span
+        scaled = 0.0 if scaled < 0.0 else (1.0 if scaled > 1.0 else scaled)
+        chars.append(SPARK_LEVELS[round(scaled * top)])
+    return "".join(chars)
 
 
 def line_plot(

@@ -37,6 +37,29 @@ def metrics_to_dict(metrics: RunMetrics) -> dict[str, Any]:
     return out
 
 
+def metrics_to_nested_dict(metrics: RunMetrics) -> dict[str, Any]:
+    """Structured rendition of a RunMetrics, queue families kept nested.
+
+    Unlike :func:`metrics_to_dict` (whose flat scalars suit CSV columns),
+    each :class:`QueueMetrics` becomes a sub-object and ``extras`` rides
+    along untouched, so JSON consumers see the full queue-family structure
+    plus any sanitizer/telemetry payloads.
+    """
+    out: dict[str, Any] = {}
+    for field in dataclasses.fields(metrics):
+        value = getattr(metrics, field.name)
+        if isinstance(value, QueueMetrics):
+            out[field.name] = dataclasses.asdict(value)
+        else:
+            out[field.name] = value
+    return out
+
+
+def metrics_to_json(runs: Sequence[RunMetrics], indent: int = 2) -> str:
+    """Render runs as a JSON array, one object per run (nested queues)."""
+    return json.dumps([metrics_to_nested_dict(m) for m in runs], indent=indent)
+
+
 def metrics_to_csv(runs: Sequence[RunMetrics]) -> str:
     """Render runs as CSV text, one row per run."""
     if not runs:

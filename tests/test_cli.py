@@ -1,5 +1,7 @@
 """CLI smoke tests (tiny config, heavily scaled down)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -107,3 +109,48 @@ class TestAnalysisCommands:
         args = build_parser().parse_args(["validate", "--scale", "0.2"])
         assert args.scale == 0.2
         assert args.func.__name__ == "_cmd_validate"
+
+
+class TestTelemetryCommands:
+    def test_run_timeline(self, capsys):
+        assert main([
+            "run", "nn", "--config", "tiny", "--scale", "0.1",
+            "--timeline", "--window", "100",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Cycle-windowed telemetry" in out
+        assert "dram bus util" in out
+
+    def test_trace_writes_chrome_trace(self, capsys, tmp_path):
+        target = tmp_path / "trace.json"
+        assert main([
+            "trace", "nn", "--config", "tiny", "--scale", "0.1",
+            "--out", str(target), "--stride", "1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "spans" in out and "Per-hop latencies" in out
+        trace = json.loads(target.read_text())
+        assert trace["traceEvents"]
+        assert trace["otherData"]["stride"] == 1
+
+    def test_export_json_format(self, capsys, tmp_path):
+        target = tmp_path / "out.json"
+        assert main([
+            "export", str(target), "--format", "json",
+            "--config", "tiny", "--scale", "0.1", "--benchmarks", "nn",
+        ]) == 0
+        assert "(json)" in capsys.readouterr().out
+        runs = json.loads(target.read_text())
+        assert runs[0]["benchmark"] == "nn"
+        assert "full_fraction" in runs[0]["l2_accessq"]  # nested queues
+
+    def test_repro_error_exits_2(self, capsys):
+        # stride 0 reaches the telemetry UsageError, a ReproError:
+        # main() reports it as a one-liner instead of a traceback.
+        assert main([
+            "trace", "nn", "--config", "tiny", "--scale", "0.1",
+            "--stride", "0",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "stride" in err
