@@ -78,6 +78,7 @@ from repro.core.scaling_curve import (
 )
 from repro.core.replication import Replication, ReplicationReport, replicate
 from repro.core.validation import Check, ValidationReport, validate_reproduction
+from repro.runner import BatchRunner, Job, ResultCache, code_version
 from repro.workloads.program import KernelProgram
 from repro.workloads.synthetic import SyntheticKernelSpec, build_kernel
 from repro.workloads.suite import BENCHMARKS, PAPER_SUITE, SPECS, get_benchmark
@@ -139,6 +140,10 @@ __all__ = [
     "Check",
     "ValidationReport",
     "validate_reproduction",
+    "BatchRunner",
+    "Job",
+    "ResultCache",
+    "code_version",
     "RequestTracer",
     "TimeSeriesProbe",
     "KernelProgram",

@@ -20,6 +20,14 @@ Every experiment in the paper can be regenerated from the shell::
 All experiment commands accept ``--scale`` (iteration scale, default 1.0;
 smaller is faster), ``--config`` (small / fermi / tiny) and ``--seed``.
 
+Batch commands (``run``, ``congestion``, ``latency-profile``, ``explore``,
+``replicate``, ``export``) additionally accept ``--jobs N`` (process-pool
+fan-out; ``--jobs 1`` stays in-process), ``--no-cache`` and ``--cache-dir``.
+Results are cached on disk keyed by config + kernel + seed + code version;
+``repro cache info`` / ``repro cache clear`` manage the store.  Report
+output on stdout is byte-identical whatever the parallelism or cache
+state — cache notes and truncation warnings go to stderr.
+
 Observability: ``repro run --timeline`` attaches the
 :class:`repro.telemetry.TimeSeriesProbe` and renders cycle-windowed IPC /
 queue-congestion / occupancy sparklines (``--window`` sets the window
@@ -61,6 +69,7 @@ from repro.core.report import (
     render_timeline,
 )
 from repro.core.synergy import analyze_synergy
+from repro.runner import BatchRunner, Job, ResultCache
 from repro.sim.config import GPUConfig, fermi_gtx480, small_gpu, tiny_gpu
 from repro.utils.tables import render_table
 from repro.workloads.suite import PAPER_SUITE, SPECS, get_benchmark
@@ -83,6 +92,48 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--benchmarks", nargs="*", default=list(PAPER_SUITE),
         metavar="NAME", help="subset of the suite to run")
+
+
+def _add_runner(parser: argparse.ArgumentParser) -> None:
+    """Batch-execution flags for commands ported onto repro.runner."""
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the batch (default: all CPUs; 1 runs "
+             "in-process)")
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the on-disk result cache for this invocation")
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+
+
+def _make_runner(args: argparse.Namespace) -> BatchRunner:
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    return BatchRunner(jobs=args.jobs, cache=cache)
+
+
+def _note_batch(runner: BatchRunner, *metrics_groups) -> None:
+    """Post-batch stderr notes: cache reuse and truncated runs.
+
+    Notes go to stderr so report output on stdout stays byte-identical
+    across ``--jobs`` settings and cold/warm cache runs.
+    """
+    stats = runner.total_stats
+    if stats.cache_hits:
+        print(
+            f"cache: {stats.cache_hits} of {stats.unique} job(s) served "
+            f"from cache ({stats.executed} executed)",
+            file=sys.stderr)
+    truncated = sum(
+        1 for group in metrics_groups for m in group if m.truncated
+    )
+    if truncated:
+        print(
+            f"warning: {truncated} run(s) hit the cycle limit; their "
+            "metrics are truncated lower bounds",
+            file=sys.stderr)
 
 
 def _config(args: argparse.Namespace) -> GPUConfig:
@@ -113,10 +164,22 @@ def _cmd_run(args: argparse.Namespace) -> int:
     config = _config(args)
     if args.magic_latency is not None:
         config = config.with_magic_memory(args.magic_latency)
-    metrics = run_kernel(
-        config, get_benchmark(args.benchmark, args.scale), seed=args.seed,
-        sanitize=args.sanitize, sanitize_interval=args.sanitize_interval,
-        timeline=args.timeline, timeline_window=args.window)
+    instrumented = args.sanitize or args.timeline
+    if instrumented:
+        # Observers hook simulator objects directly, so instrumented runs
+        # stay on the in-process path regardless of --jobs (see
+        # docs/architecture.md, "Parallel execution & caching").
+        metrics = run_kernel(
+            config, get_benchmark(args.benchmark, args.scale), seed=args.seed,
+            sanitize=args.sanitize, sanitize_interval=args.sanitize_interval,
+            timeline=args.timeline, timeline_window=args.window)
+    else:
+        runner = _make_runner(args)
+        [metrics] = runner.run([
+            Job(config, args.benchmark, seed=args.seed,
+                iteration_scale=args.scale)
+        ])
+        _note_batch(runner, [metrics])
     rows = [
         ["cycles", metrics.cycles],
         ["instructions", metrics.instructions],
@@ -188,31 +251,42 @@ def _cmd_lint(args: argparse.Namespace) -> int:
 
 
 def _cmd_congestion(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
     report = measure_congestion(
         _config(args), benchmarks=args.benchmarks,
-        iteration_scale=args.scale, seed=args.seed)
+        iteration_scale=args.scale, seed=args.seed, runner=runner)
     print(render_congestion(report))
+    _note_batch(runner, report.runs.values())
     return 0
 
 
 def _cmd_latency_profile(args: argparse.Namespace) -> int:
     config = _config(args)
+    runner = _make_runner(args)
     latencies = args.latencies or list(range(0, 801, args.step))
     profiles = [
         profile_latency_tolerance(
             name, config, latencies=latencies,
-            iteration_scale=args.scale, seed=args.seed)
+            iteration_scale=args.scale, seed=args.seed, runner=runner)
         for name in args.benchmarks
     ]
     print(render_figure1(profiles))
+    _note_batch(
+        runner,
+        [p.baseline for p in profiles],
+        [pt for p in profiles for pt in p.points],
+    )
     return 0
 
 
 def _cmd_explore(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
     result = explore_design_space(
         _config(args), benchmarks=args.benchmarks,
-        iteration_scale=args.scale, seed=args.seed)
+        iteration_scale=args.scale, seed=args.seed, runner=runner)
     print(render_section_iv(result, analyze_synergy(result)))
+    _note_batch(
+        runner, [m for per in result.runs.values() for m in per.values()])
     degraded = result.degraded_benchmarks("l1")
     if degraded:
         print(f"\nIsolated L1 scaling degraded: {', '.join(degraded)} "
@@ -242,26 +316,41 @@ def _cmd_breakdown(args: argparse.Namespace) -> int:
 
 
 def _cmd_replicate(args: argparse.Namespace) -> int:
+    runner = _make_runner(args)
     report = replicate(
         _config(args), args.benchmark, seeds=tuple(args.seeds),
-        iteration_scale=args.scale)
+        iteration_scale=args.scale, runner=runner)
     print(report.to_table())
     print(f"\nworst coefficient of variation: {report.worst_cv():.1%}")
+    _note_batch(runner)
     return 0
 
 
 def _cmd_export(args: argparse.Namespace) -> int:
     config = _config(args)
-    runs = [
-        run_kernel(config, get_benchmark(name, args.scale), seed=args.seed)
+    runner = _make_runner(args)
+    runs = runner.run([
+        Job(config, name, seed=args.seed, iteration_scale=args.scale)
         for name in args.benchmarks
-    ]
+    ])
     if args.format == "json":
         text = metrics_to_json(runs)
     else:
         text = metrics_to_csv(runs)
     path = write_text(args.output, text)
     print(f"wrote {len(runs)} runs to {path} ({args.format})")
+    _note_batch(runner, runs)
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ResultCache(args.cache_dir)
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"removed {removed} cached result(s) from {cache.directory}")
+    else:
+        count, size = cache.stats()
+        print(f"cache {cache.directory}: {count} entries, {size} bytes")
     return 0
 
 
@@ -305,6 +394,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--window", type=int, default=None, metavar="CYCLES",
         help="telemetry window length in cycles (default: 2000)")
     _add_common(run)
+    _add_runner(run)
     run.set_defaults(func=_cmd_run)
 
     trace = sub.add_parser(
@@ -335,6 +425,7 @@ def build_parser() -> argparse.ArgumentParser:
     cong = sub.add_parser(
         "congestion", help="Section III: queue-occupancy measurement")
     _add_common(cong)
+    _add_runner(cong)
     cong.set_defaults(func=_cmd_congestion)
 
     prof = sub.add_parser(
@@ -346,11 +437,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--step", type=int, default=100,
         help="latency grid step when --latencies not given (default 100)")
     _add_common(prof)
+    _add_runner(prof)
     prof.set_defaults(func=_cmd_latency_profile)
 
     explore = sub.add_parser(
         "explore", help="Section IV: design-space exploration")
     _add_common(explore)
+    _add_runner(explore)
     explore.set_defaults(func=_cmd_explore)
 
     diagnose = sub.add_parser(
@@ -370,6 +463,7 @@ def build_parser() -> argparse.ArgumentParser:
     repl.add_argument(
         "--seeds", nargs="*", type=int, default=[1, 2, 3, 4, 5])
     _add_common(repl)
+    _add_runner(repl)
     repl.set_defaults(func=_cmd_replicate)
 
     export = sub.add_parser(
@@ -380,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="export format: flat csv or nested json preserving the "
              "queue families (default: csv)")
     _add_common(export)
+    _add_runner(export)
     export.set_defaults(func=_cmd_export)
 
     validate = sub.add_parser(
@@ -387,6 +482,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the full battery and evaluate every claim of the paper")
     _add_common(validate)
     validate.set_defaults(func=_cmd_validate)
+
+    cache = sub.add_parser(
+        "cache", help="inspect or clear the on-disk result cache")
+    cache.add_argument(
+        "action", choices=["info", "clear"],
+        help="info: entry count and size; clear: delete every entry")
+    cache.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache directory (default: $REPRO_CACHE_DIR or "
+             "~/.cache/repro)")
+    cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -22,6 +22,7 @@ from repro.sim.config import GPUConfig
 from repro.utils.means import arithmetic_mean
 from repro.utils.tables import render_table
 from repro.workloads.suite import PAPER_SUITE, get_benchmark
+from repro.runner import BatchRunner, Job
 
 
 @dataclass(frozen=True)
@@ -64,13 +65,18 @@ class CongestionReport:
             m.l2_respq.full_fraction for m in self.runs.values()
         )
 
+    @property
+    def truncated_benchmarks(self) -> tuple[str, ...]:
+        """Benchmarks whose run hit the cycle limit (metrics are bounds)."""
+        return tuple(name for name, m in self.runs.items() if m.truncated)
+
     def to_table(self) -> str:
         """Per-benchmark queue full-fractions as an ASCII table."""
         rows = []
         for name, m in self.runs.items():
             rows.append(
                 [
-                    name,
+                    name + (" *" if m.truncated else ""),
                     f"{m.l1_missq.full_fraction:.0%}",
                     f"{m.l2_accessq.full_fraction:.0%}",
                     f"{m.l2_missq.full_fraction:.0%}",
@@ -90,7 +96,7 @@ class CongestionReport:
                 "",
             ]
         )
-        return render_table(
+        table = render_table(
             [
                 "benchmark",
                 "L1 missQ full",
@@ -103,6 +109,11 @@ class CongestionReport:
             rows,
             title="Queue full-fraction of usage lifetime (baseline)",
         )
+        if self.truncated_benchmarks:
+            table += (
+                "\n* hit the cycle limit; truncated metrics are lower bounds"
+            )
+        return table
 
 
 def measure_congestion(
@@ -111,10 +122,29 @@ def measure_congestion(
     iteration_scale: float = 1.0,
     seed: int = 1,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    runner: BatchRunner | None = None,
 ) -> CongestionReport:
-    """Run the suite on ``config`` and gather the Section III measurements."""
-    runs = {}
-    for name in benchmarks:
-        kernel = get_benchmark(name, iteration_scale)
-        runs[name] = run_kernel(config, kernel, seed=seed, max_cycles=max_cycles)
+    """Run the suite on ``config`` and gather the Section III measurements.
+
+    With ``runner``, the per-benchmark runs execute as one batch
+    (parallel and/or cached); results merge back in ``benchmarks`` order
+    regardless of completion order.
+    """
+    benchmarks = list(benchmarks)
+    if runner is not None:
+        results = runner.run(
+            [
+                Job(config, name, seed=seed, iteration_scale=iteration_scale,
+                    max_cycles=max_cycles)
+                for name in benchmarks
+            ]
+        )
+        runs = dict(zip(benchmarks, results))
+    else:
+        runs = {}
+        for name in benchmarks:
+            kernel = get_benchmark(name, iteration_scale)
+            runs[name] = run_kernel(
+                config, kernel, seed=seed, max_cycles=max_cycles
+            )
     return CongestionReport(runs=runs)

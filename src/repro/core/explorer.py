@@ -32,6 +32,7 @@ from repro.sim.config import GPUConfig
 from repro.utils.means import arithmetic_mean, geometric_mean
 from repro.utils.tables import render_table
 from repro.workloads.suite import PAPER_SUITE, get_benchmark
+from repro.runner import BatchRunner, Job
 
 #: The experiment matrix of Section IV: label -> levels scaled together.
 SECTION_IV_CONFIGS: dict[str, tuple[str, ...]] = {
@@ -77,6 +78,15 @@ class ExplorationResult:
         """Benchmarks slowed down by the scaling (counter-productive cases)."""
         return [b for b, s in self.speedups(label).items() if s < 1.0]
 
+    def truncated_points(self) -> tuple[tuple[str, str], ...]:
+        """(config label, benchmark) pairs whose run hit the cycle limit."""
+        return tuple(
+            (label, benchmark)
+            for label in self.config_labels
+            for benchmark in self.benchmarks
+            if self.runs[label][benchmark].truncated
+        )
+
     def to_table(self) -> str:
         rows = []
         for benchmark in self.benchmarks:
@@ -106,27 +116,50 @@ def explore_design_space(
     iteration_scale: float = 1.0,
     seed: int = 1,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    runner: BatchRunner | None = None,
 ) -> ExplorationResult:
     """Run the Section IV experiment matrix.
 
     ``configs`` maps labels to tuples of levels to scale together; the
     default is the paper's matrix (baseline, each level alone, L1+L2,
     L2+DRAM).
+
+    With ``runner``, the whole (config x benchmark) matrix executes as
+    one batch (parallel and/or cached); results merge back by position,
+    never by completion order.
     """
     if configs is None:
         configs = SECTION_IV_CONFIGS
     if "baseline" not in configs:
         configs = {"baseline": (), **configs}
-    kernels = {
-        name: get_benchmark(name, iteration_scale) for name in benchmarks
-    }
+    benchmarks = list(benchmarks)
     runs: dict[str, dict[str, RunMetrics]] = {}
-    for label, levels in configs.items():
-        scaled = scale_levels(config, levels)
-        runs[label] = {
-            name: run_kernel(scaled, kernel, seed=seed, max_cycles=max_cycles)
-            for name, kernel in kernels.items()
+    if runner is not None:
+        jobs: list[Job] = []
+        index: list[tuple[str, str]] = []
+        for label, levels in configs.items():
+            scaled = scale_levels(config, levels)
+            for name in benchmarks:
+                jobs.append(
+                    Job(scaled, name, seed=seed,
+                        iteration_scale=iteration_scale, max_cycles=max_cycles)
+                )
+                index.append((label, name))
+        results = runner.run(jobs)
+        for (label, name), metrics in zip(index, results):
+            runs.setdefault(label, {})[name] = metrics
+    else:
+        kernels = {
+            name: get_benchmark(name, iteration_scale) for name in benchmarks
         }
+        for label, levels in configs.items():
+            scaled = scale_levels(config, levels)
+            runs[label] = {
+                name: run_kernel(
+                    scaled, kernel, seed=seed, max_cycles=max_cycles
+                )
+                for name, kernel in kernels.items()
+            }
     return ExplorationResult(
         runs=runs,
         config_labels=tuple(configs),

@@ -23,6 +23,7 @@ from repro.core.metrics import RunMetrics, run_kernel
 from repro.sim.config import GPUConfig
 from repro.workloads.program import KernelProgram
 from repro.workloads.suite import get_benchmark
+from repro.runner import BatchRunner, Job
 
 #: The paper's x-axis: 0..800 cycles in steps of 50.
 DEFAULT_LATENCIES: tuple[int, ...] = tuple(range(0, 801, 50))
@@ -38,6 +39,8 @@ class LatencyPoint:
     latency: int
     ipc: float
     normalized_ipc: float
+    #: True when this point's run hit the cycle limit (IPC is a lower bound).
+    truncated: bool = False
 
 
 @dataclass(frozen=True)
@@ -60,6 +63,11 @@ class LatencyProfile:
     @property
     def peak_normalized_ipc(self) -> float:
         return max(p.normalized_ipc for p in self.points)
+
+    @property
+    def truncated(self) -> bool:
+        """True when any contributing run hit the cycle limit."""
+        return self.baseline.truncated or any(p.truncated for p in self.points)
 
     def plateau_latency(self, tolerance: float = 0.05) -> int:
         """Largest swept latency still within ``tolerance`` of peak IPC."""
@@ -114,30 +122,61 @@ def profile_latency_tolerance(
     seed: int = 1,
     baseline: RunMetrics | None = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    runner: BatchRunner | None = None,
 ) -> LatencyProfile:
     """Produce one benchmark's Figure 1 curve.
 
     ``baseline`` may be supplied to reuse an existing baseline run (e.g.
     shared with the congestion measurement); otherwise the true baseline
     configuration is simulated first.
+
+    With ``runner``, the baseline and every swept point execute as one
+    batch (parallel and/or cached); this requires a suite benchmark
+    *name*, since ad-hoc :class:`KernelProgram` objects cannot cross
+    process boundaries.
     """
-    if isinstance(benchmark, str):
-        kernel = get_benchmark(benchmark, iteration_scale)
-    else:
-        kernel = benchmark
-    if baseline is None:
-        baseline = run_kernel(config, kernel, seed=seed, max_cycles=max_cycles)
-    points = []
-    for latency in latencies:
-        magic = config.with_magic_memory(latency)
-        metrics = run_kernel(magic, kernel, seed=seed, max_cycles=max_cycles)
-        points.append(
-            LatencyPoint(
-                latency=latency,
-                ipc=metrics.ipc,
-                normalized_ipc=metrics.ipc / baseline.ipc if baseline.ipc else 0.0,
+    latencies = list(latencies)
+    if runner is not None and isinstance(benchmark, str):
+        name = benchmark
+        jobs = [
+            Job(config.with_magic_memory(latency), benchmark, seed=seed,
+                iteration_scale=iteration_scale, max_cycles=max_cycles)
+            for latency in latencies
+        ]
+        if baseline is None:
+            jobs.insert(
+                0,
+                Job(config, benchmark, seed=seed,
+                    iteration_scale=iteration_scale, max_cycles=max_cycles),
             )
+            results = runner.run(jobs)
+            baseline, point_metrics = results[0], results[1:]
+        else:
+            point_metrics = runner.run(jobs)
+    else:
+        if isinstance(benchmark, str):
+            kernel = get_benchmark(benchmark, iteration_scale)
+        else:
+            kernel = benchmark
+        name = kernel.name
+        if baseline is None:
+            baseline = run_kernel(
+                config, kernel, seed=seed, max_cycles=max_cycles
+            )
+        point_metrics = [
+            run_kernel(
+                config.with_magic_memory(latency), kernel, seed=seed,
+                max_cycles=max_cycles,
+            )
+            for latency in latencies
+        ]
+    points = [
+        LatencyPoint(
+            latency=latency,
+            ipc=metrics.ipc,
+            normalized_ipc=metrics.ipc / baseline.ipc if baseline.ipc else 0.0,
+            truncated=metrics.truncated,
         )
-    return LatencyProfile(
-        benchmark=kernel.name, baseline=baseline, points=tuple(points)
-    )
+        for latency, metrics in zip(latencies, point_metrics)
+    ]
+    return LatencyProfile(benchmark=name, baseline=baseline, points=tuple(points))

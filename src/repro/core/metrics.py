@@ -10,8 +10,9 @@ locality, bus utilization).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
+from repro.errors import CycleLimitExceeded
 from repro.gpu import GPU
 from repro.sim.config import GPUConfig
 from repro.sim.engine import DEFAULT_MAX_CYCLES
@@ -71,6 +72,10 @@ class RunMetrics:
     # --- core ---
     mem_pipeline_stall_cycles: int
     no_ready_warp_fraction: float
+    #: True when the run hit its ``max_cycles`` budget before completing
+    #: (or draining).  Truncated metrics are lower bounds and must not be
+    #: silently averaged into aggregates — reports mark them.
+    truncated: bool = False
     extras: dict = field(default_factory=dict)
 
     def speedup_over(self, baseline: "RunMetrics") -> float:
@@ -216,6 +221,13 @@ def run_kernel(
     requests into a Chrome trace (``extras['trace']``) plus a per-hop
     latency digest (``extras['trace_hops']``).  All instrumentation is
     opt-in: the default run is bit-identical to an uninstrumented one.
+
+    A run that exhausts ``max_cycles`` is *not* silently averaged away:
+    its statistics intervals are closed at the cut-off, the metrics carry
+    ``truncated=True``, and reports/runner mark the point.  (Before this
+    flag existed, the :class:`~repro.errors.CycleLimitExceeded` escaped
+    and killed whole sweeps; now a single mis-calibrated point degrades
+    to a labelled lower bound instead.)
     """
     gpu = GPU(config, kernel, seed=seed)
     sanitizer = None
@@ -256,8 +268,15 @@ def run_kernel(
                     else trace_limit
                 ),
             )
-    gpu.run(max_cycles=max_cycles)
+    truncated = False
+    try:
+        gpu.run(max_cycles=max_cycles)
+    except CycleLimitExceeded:
+        truncated = True
+        gpu.sim.finalize()  # close statistics intervals at the cut-off
     metrics = collect_metrics(gpu)
+    if truncated:
+        metrics = replace(metrics, truncated=True)
     if sanitizer is not None:
         metrics.extras["sanitizer"] = sanitizer.stats()
     if probe is not None:

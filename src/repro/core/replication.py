@@ -15,6 +15,7 @@ from dataclasses import dataclass
 
 from repro.sim.engine import DEFAULT_MAX_CYCLES
 from repro.core.metrics import RunMetrics, run_kernel
+from repro.runner import BatchRunner, Job
 from repro.sim.config import GPUConfig
 from repro.utils.tables import render_table
 from repro.workloads.program import KernelProgram
@@ -43,8 +44,16 @@ class Replication:
 
     @property
     def cv(self) -> float:
-        """Coefficient of variation (std / mean); 0 for a zero mean."""
-        return self.std / self.mean if self.mean else 0.0
+        """Coefficient of variation (std / |mean|); 0 for a zero mean.
+
+        The magnitude of the mean is the correct normalizer: dividing by
+        a signed mean would make the CV of a negative-mean metric
+        negative, which then hides it from ``max()``-style aggregation
+        (a large relative spread would rank *below* a perfectly stable
+        metric).
+        """
+        mu = abs(self.mean)
+        return self.std / mu if mu else 0.0
 
     @property
     def spread(self) -> float:
@@ -69,16 +78,19 @@ class ReplicationReport:
     benchmark: str
     seeds: tuple[int, ...]
     replications: dict[str, Replication]
+    #: Seeds whose run hit the cycle limit; their metrics are lower bounds.
+    truncated_seeds: tuple[int, ...] = ()
 
     def worst_cv(self) -> float:
-        return max(r.cv for r in self.replications.values())
+        """Largest CV over the replicated metrics; 0.0 when empty."""
+        return max((r.cv for r in self.replications.values()), default=0.0)
 
     def to_table(self) -> str:
         rows = [
             [name, f"{r.mean:.3f}", f"{r.std:.3f}", f"{r.cv:.1%}"]
             for name, r in self.replications.items()
         ]
-        return render_table(
+        table = render_table(
             ["metric", "mean", "std", "CV"],
             rows,
             title=(
@@ -86,6 +98,12 @@ class ReplicationReport:
                 f"{list(self.seeds)}"
             ),
         )
+        if self.truncated_seeds:
+            table += (
+                f"\nwarning: seeds {list(self.truncated_seeds)} hit the "
+                "cycle limit; their metrics are truncated lower bounds"
+            )
+        return table
 
 
 def replicate(
@@ -95,26 +113,48 @@ def replicate(
     iteration_scale: float = 1.0,
     metrics: dict[str, Callable[[RunMetrics], float]] | None = None,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    runner: "BatchRunner | None" = None,
 ) -> ReplicationReport:
-    """Run a benchmark once per seed and aggregate the chosen metrics."""
-    if isinstance(benchmark, str):
-        kernel = get_benchmark(benchmark, iteration_scale)
-    else:
-        kernel = benchmark
-    if metrics is None:
-        metrics = DEFAULT_METRICS
-    runs = [
-        run_kernel(config, kernel, seed=seed, max_cycles=max_cycles)
-        for seed in seeds
-    ]
-    replications = {
-        name: Replication(
-            metric=name, values=tuple(extract(m) for m in runs)
+    """Run a benchmark once per seed and aggregate the chosen metrics.
+
+    With ``runner``, the per-seed runs execute as a batch (parallel and/or
+    cached); this requires a suite benchmark *name*, since ad-hoc
+    :class:`KernelProgram` objects cannot cross process boundaries.
+    """
+    # Defensive copy: DEFAULT_METRICS is module-level shared state; an
+    # aliasing caller mutating it mid-batch must not change this report.
+    metrics = dict(DEFAULT_METRICS if metrics is None else metrics)
+    seeds = tuple(seeds)
+    if runner is not None and isinstance(benchmark, str):
+        name = benchmark
+        runs = runner.run(
+            [
+                Job(config, benchmark, seed=seed,
+                    iteration_scale=iteration_scale, max_cycles=max_cycles)
+                for seed in seeds
+            ]
         )
-        for name, extract in metrics.items()
+    else:
+        if isinstance(benchmark, str):
+            kernel = get_benchmark(benchmark, iteration_scale)
+        else:
+            kernel = benchmark
+        name = kernel.name
+        runs = [
+            run_kernel(config, kernel, seed=seed, max_cycles=max_cycles)
+            for seed in seeds
+        ]
+    replications = {
+        metric_name: Replication(
+            metric=metric_name, values=tuple(extract(m) for m in runs)
+        )
+        for metric_name, extract in metrics.items()
     }
     return ReplicationReport(
-        benchmark=kernel.name,
-        seeds=tuple(seeds),
+        benchmark=name,
+        seeds=seeds,
         replications=replications,
+        truncated_seeds=tuple(
+            seed for seed, m in zip(seeds, runs) if m.truncated
+        ),
     )

@@ -69,7 +69,14 @@ def render_figure1(profiles: Sequence[LatencyProfile], width: int = 78) -> str:
             f"DRAM ~{IDEAL_DRAM_LATENCY} cy"
         ),
     )
-    return f"{plot}\n\n{table}"
+    text = f"{plot}\n\n{table}"
+    truncated = sorted(p.benchmark for p in profiles if p.truncated)
+    if truncated:
+        text += (
+            f"\nwarning: {', '.join(truncated)} hit the cycle limit on at "
+            "least one point; those IPCs are truncated lower bounds"
+        )
+    return text
 
 
 #: Sparkline width cap for the timeline report.
@@ -174,4 +181,13 @@ def render_section_iv(
     if synergy is not None:
         parts.append("")
         parts.append(synergy.to_table())
+    truncated = result.truncated_points()
+    if truncated:
+        shown = ", ".join(f"{label}/{bench}" for label, bench in truncated[:8])
+        if len(truncated) > 8:
+            shown += f", ... ({len(truncated) - 8} more)"
+        parts.append(
+            f"warning: {len(truncated)} run(s) hit the cycle limit "
+            f"({shown}); their speedups are computed from truncated metrics"
+        )
     return "\n".join(parts)

@@ -26,6 +26,7 @@ from repro.sim.config import GPUConfig
 from repro.utils.means import arithmetic_mean
 from repro.utils.tables import render_table
 from repro.workloads.suite import PAPER_SUITE, get_benchmark
+from repro.runner import BatchRunner, Job
 
 
 def _pow2_at_least(x: float) -> int:
@@ -82,18 +83,41 @@ def sweep_scaling_coefficient(
     iteration_scale: float = 1.0,
     seed: int = 1,
     max_cycles: int = DEFAULT_MAX_CYCLES,
+    runner: BatchRunner | None = None,
 ) -> ScalingCurve:
-    """Run ``level`` at several scaling coefficients over ``benchmarks``."""
+    """Run ``level`` at several scaling coefficients over ``benchmarks``.
+
+    With ``runner``, the (factor x benchmark) grid executes as one batch
+    (parallel and/or cached), merged back by position.
+    """
     if 1 not in factors:
         factors = (1, *factors)
-    kernels = {b: get_benchmark(b, iteration_scale) for b in benchmarks}
-    runs = {}
-    for factor in factors:
-        scaled = scale_level_by(config, level, factor)
-        runs[factor] = {
-            name: run_kernel(scaled, kernel, seed=seed, max_cycles=max_cycles)
-            for name, kernel in kernels.items()
-        }
+    benchmarks = list(benchmarks)
+    runs: dict[int, dict[str, RunMetrics]] = {}
+    if runner is not None:
+        jobs: list[Job] = []
+        index: list[tuple[int, str]] = []
+        for factor in factors:
+            scaled = scale_level_by(config, level, factor)
+            for name in benchmarks:
+                jobs.append(
+                    Job(scaled, name, seed=seed,
+                        iteration_scale=iteration_scale, max_cycles=max_cycles)
+                )
+                index.append((factor, name))
+        results = runner.run(jobs)
+        for (factor, name), metrics in zip(index, results):
+            runs.setdefault(factor, {})[name] = metrics
+    else:
+        kernels = {b: get_benchmark(b, iteration_scale) for b in benchmarks}
+        for factor in factors:
+            scaled = scale_level_by(config, level, factor)
+            runs[factor] = {
+                name: run_kernel(
+                    scaled, kernel, seed=seed, max_cycles=max_cycles
+                )
+                for name, kernel in kernels.items()
+            }
     return ScalingCurve(level=level, runs=runs)
 
 

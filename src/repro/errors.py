@@ -54,6 +54,23 @@ class UsageError(ReproError, ValueError):
     """
 
 
+class RunnerError(ReproError):
+    """One or more jobs of a batch run failed after bounded retry.
+
+    Raised by :class:`repro.runner.BatchRunner` once a whole batch has been
+    attempted, so a single flaky or mis-configured job surfaces as one
+    summary instead of a half-finished report.  ``failures`` carries one
+    pre-rendered line per failed job; successful results are already in
+    the on-disk cache, so a rerun only repeats the failed jobs.
+    """
+
+    def __init__(self, message: str, failures: tuple[str, ...] = ()) -> None:
+        self.failures = tuple(failures)
+        if self.failures:
+            message = "\n".join([message, *self.failures])
+        super().__init__(message)
+
+
 class SanitizerError(SimulationError):
     """An invariant checked by :class:`repro.analysis.Sanitizer` was violated.
 

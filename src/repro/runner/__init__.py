@@ -1,0 +1,39 @@
+"""Batch execution: parallel fan-out of simulations with an on-disk cache.
+
+Every headline experiment of the paper — the Figure 1 latency sweep, the
+Section III congestion study, the Table I design-space exploration — is an
+embarrassingly parallel batch of independent :func:`repro.core.metrics.run_kernel`
+invocations.  This package turns each invocation into a pure, picklable
+:class:`Job`, fans batches out over a ``multiprocessing`` pool
+(:class:`BatchRunner`), and memoizes completed jobs in a content-addressed
+on-disk cache (:class:`ResultCache`) so repeated report iterations are
+nearly free.
+
+Three guarantees the drivers rely on:
+
+* **Determinism.** Results are merged back by job key in submission
+  order, never by completion order, so ``jobs=N`` output is byte-identical
+  to ``jobs=1``.
+* **Fidelity.** ``jobs=1`` executes in-process through the exact same
+  code path as before, so opt-in observers (sanitizer, telemetry) keep
+  working; the pool path is reserved for plain measurement runs.
+* **Loud failure.** Worker crashes are retried a bounded number of
+  times; whatever still fails surfaces as one
+  :class:`repro.errors.RunnerError` summary instead of a half-finished
+  report (completed results are already cached and survive the error).
+"""
+
+from repro.runner.job import Job, code_version
+from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.pool import DEFAULT_RETRIES, BatchRunner, JobFailure, RunnerStats
+
+__all__ = [
+    "Job",
+    "code_version",
+    "ResultCache",
+    "default_cache_dir",
+    "BatchRunner",
+    "JobFailure",
+    "RunnerStats",
+    "DEFAULT_RETRIES",
+]

@@ -1,0 +1,116 @@
+"""Content-addressed on-disk cache of completed job results.
+
+One pickle file per :meth:`repro.runner.Job.key` under
+``~/.cache/repro/`` (overridable with the ``REPRO_CACHE_DIR`` environment
+variable or an explicit directory).  The key already encodes the full
+config, the run parameters and the package's code digest, so lookups are
+exact: a hit is byte-for-byte the metrics a fresh run would produce, and
+any config or code change misses cleanly.
+
+Entries that fail to unpickle (interrupted writes, stale formats) are
+deleted and treated as misses; writes go through a temp file + rename so
+concurrent runners never observe a torn entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+
+from repro.core.metrics import RunMetrics
+
+#: Environment variable overriding the default cache directory.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Bumped when the on-disk payload layout changes.
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/repro").expanduser()
+
+
+class ResultCache:
+    """Maps job keys to pickled :class:`~repro.core.metrics.RunMetrics`."""
+
+    def __init__(self, directory: str | Path | None = None) -> None:
+        self.directory = (
+            Path(directory).expanduser() if directory else default_cache_dir()
+        )
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> RunMetrics | None:
+        """Return the cached metrics for ``key``, or None on a miss."""
+        path = self._path(key)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except FileNotFoundError:
+            return None
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self._discard(path)
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != CACHE_FORMAT
+            or not isinstance(payload.get("metrics"), RunMetrics)
+        ):
+            self._discard(path)
+            return None
+        return payload["metrics"]
+
+    def put(self, key: str, metrics: RunMetrics) -> None:
+        """Store ``metrics`` under ``key`` (atomic replace)."""
+        self.directory.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+        with tmp.open("wb") as handle:
+            pickle.dump(
+                {"format": CACHE_FORMAT, "key": key, "metrics": metrics},
+                handle,
+                protocol=pickle.HIGHEST_PROTOCOL,
+            )
+        tmp.replace(path)
+
+    # ------------------------------------------------------------------
+    def entries(self) -> list[Path]:
+        """Cache entry files, sorted for deterministic iteration."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(self.directory.glob("*.pkl"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for path in self.entries():
+            if self._discard(path):
+                removed += 1
+        return removed
+
+    def stats(self) -> tuple[int, int]:
+        """(entry count, total bytes) of the cache directory."""
+        total = 0
+        entries = self.entries()
+        for path in entries:
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return len(entries), total
+
+    @staticmethod
+    def _discard(path: Path) -> bool:
+        try:
+            path.unlink()
+            return True
+        except OSError:
+            return False

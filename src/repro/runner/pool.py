@@ -1,0 +1,273 @@
+"""The batch runner: serial or process-pool execution with bounded retry.
+
+:class:`BatchRunner` executes a sequence of :class:`~repro.runner.Job`\\ s
+and returns their metrics *in submission order*:
+
+1. jobs are deduplicated by content key (identical jobs run once);
+2. the cache (when attached) is consulted for every unique key;
+3. remaining jobs run in-process (``jobs=1`` — the fidelity path, where
+   observers still work) or across a ``ProcessPoolExecutor``;
+4. worker crashes and unexpected errors are retried up to ``retries``
+   extra attempts; deterministic simulator failures
+   (:class:`~repro.errors.ReproError`) are not retried — re-running the
+   same frozen config cannot change the outcome;
+5. results are merged back by key, never by completion order, so output
+   is identical whatever the parallelism;
+6. any job still failing raises one :class:`~repro.errors.RunnerError`
+   summary.  Completed results were cached as they arrived, so a rerun
+   repeats only the failures.
+"""
+
+from __future__ import annotations
+
+import os
+from collections.abc import Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.metrics import RunMetrics
+from repro.errors import ReproError, RunnerError, UsageError
+from repro.runner.cache import ResultCache
+from repro.runner.job import Job
+
+#: Extra attempts granted to a crashed job before it is reported failed.
+DEFAULT_RETRIES = 2
+
+#: Test hook (see :func:`_maybe_inject_fault`); never set in production.
+FAULT_ENV = "REPRO_RUNNER_FAULT"
+
+
+def _maybe_inject_fault() -> None:
+    """Hard-crash the worker while the fault budget file is positive.
+
+    When ``REPRO_RUNNER_FAULT`` names a file holding an integer > 0, the
+    worker decrements the counter and dies via ``os._exit`` —
+    indistinguishable from a real worker crash.  This exists only so the
+    retry path is testable end to end; it runs exclusively inside pool
+    workers, never in the parent process.
+    """
+    fault = os.environ.get(FAULT_ENV)
+    if not fault:
+        return
+    path = Path(fault)
+    try:
+        remaining = int(path.read_text().strip() or 0)
+    except (OSError, ValueError):
+        return
+    if remaining > 0:
+        path.write_text(str(remaining - 1))
+        os._exit(17)
+
+
+def _pool_execute(job: Job) -> RunMetrics:
+    """Worker body; module-level so the pool can pickle it."""
+    _maybe_inject_fault()
+    return job.execute()
+
+
+@dataclass(frozen=True)
+class JobFailure:
+    """One job's terminal failure after all attempts."""
+
+    job: Job
+    attempts: int
+    error: str
+
+    def render(self) -> str:
+        return f"  {self.job.describe()}: {self.error} [{self.attempts} attempt(s)]"
+
+
+@dataclass
+class RunnerStats:
+    """What the last :meth:`BatchRunner.run` actually did."""
+
+    jobs: int = 0
+    unique: int = 0
+    cache_hits: int = 0
+    executed: int = 0
+    retried: int = 0
+    failed: int = 0
+
+    def add(self, other: "RunnerStats") -> None:
+        """Fold another batch's counters into this one."""
+        self.jobs += other.jobs
+        self.unique += other.unique
+        self.cache_hits += other.cache_hits
+        self.executed += other.executed
+        self.retried += other.retried
+        self.failed += other.failed
+
+
+class BatchRunner:
+    """Executes job batches serially or across a process pool."""
+
+    def __init__(
+        self,
+        jobs: int | None = None,
+        cache: ResultCache | None = None,
+        retries: int = DEFAULT_RETRIES,
+    ) -> None:
+        if jobs is None:
+            jobs = os.cpu_count() or 1
+        if jobs < 1:
+            raise UsageError(f"jobs must be >= 1, got {jobs}")
+        if retries < 0:
+            raise UsageError(f"retries must be >= 0, got {retries}")
+        self.jobs = jobs
+        self.cache = cache
+        self.retries = retries
+        #: Counters for the most recent :meth:`run` call.
+        self.last_stats = RunnerStats()
+        #: Counters accumulated over every :meth:`run` call of this runner.
+        self.total_stats = RunnerStats()
+
+    @classmethod
+    def serial(cls) -> "BatchRunner":
+        """In-process runner with no cache — the legacy execution path."""
+        return cls(jobs=1, cache=None)
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: Sequence[Job]) -> list[RunMetrics]:
+        """Execute ``jobs``; returns metrics in the order given."""
+        jobs = list(jobs)
+        stats = RunnerStats(jobs=len(jobs))
+        self.last_stats = stats
+        if not jobs:
+            return []
+
+        keys: list[str] = []
+        unique: dict[str, Job] = {}
+        for job in jobs:
+            key = job.key()
+            keys.append(key)
+            unique.setdefault(key, job)
+        stats.unique = len(unique)
+
+        results: dict[str, RunMetrics] = {}
+        if self.cache is not None:
+            for key in unique:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[key] = hit
+            stats.cache_hits = len(results)
+
+        pending = {k: j for k, j in unique.items() if k not in results}
+        failures: dict[str, JobFailure] = {}
+        if pending:
+            if self.jobs == 1 or len(pending) == 1:
+                self._run_serial(pending, results, failures, stats)
+            else:
+                self._run_pool(pending, results, failures, stats)
+
+        stats.failed = len(failures)
+        self.total_stats.add(stats)
+        if failures:
+            ordered = [failures[k] for k in unique if k in failures]
+            raise RunnerError(
+                f"{len(failures)} of {stats.unique} job(s) failed "
+                f"({stats.executed} completed, {stats.cache_hits} cached):",
+                failures=tuple(f.render() for f in ordered),
+            )
+        return [results[key] for key in keys]
+
+    # ------------------------------------------------------------------
+    def _record(
+        self,
+        key: str,
+        metrics: RunMetrics,
+        results: dict[str, RunMetrics],
+        stats: RunnerStats,
+    ) -> None:
+        stats.executed += 1
+        results[key] = metrics
+        if self.cache is not None:
+            self.cache.put(key, metrics)
+
+    def _run_serial(
+        self,
+        pending: dict[str, Job],
+        results: dict[str, RunMetrics],
+        failures: dict[str, JobFailure],
+        stats: RunnerStats,
+    ) -> None:
+        """In-process path: observers work, no pickling, same semantics."""
+        for key, job in pending.items():
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    metrics = job.execute()
+                except ReproError as exc:
+                    failures[key] = JobFailure(
+                        job, attempts, f"{type(exc).__name__}: {exc}"
+                    )
+                    break
+                except Exception as exc:  # unexpected: retry, then surface
+                    if attempts > self.retries:
+                        failures[key] = JobFailure(
+                            job, attempts, f"{type(exc).__name__}: {exc}"
+                        )
+                        break
+                    stats.retried += 1
+                else:
+                    self._record(key, metrics, results, stats)
+                    break
+
+    def _run_pool(
+        self,
+        pending: dict[str, Job],
+        results: dict[str, RunMetrics],
+        failures: dict[str, JobFailure],
+        stats: RunnerStats,
+    ) -> None:
+        """Fan out over a process pool, rebuilding it after crashes.
+
+        A dead worker breaks the whole executor and every outstanding
+        future raises ``BrokenProcessPool``; each affected job loses one
+        attempt and the pool is rebuilt for the survivors, so one crashy
+        job cannot sink the batch but cannot loop forever either.
+        """
+        from concurrent.futures import ProcessPoolExecutor, as_completed
+        from concurrent.futures.process import BrokenProcessPool
+
+        attempts: dict[str, int] = {key: 0 for key in pending}
+        crash_errors: dict[str, str] = {}
+        while pending:
+            round_jobs = dict(pending)
+            crashed: list[str] = []
+            with ProcessPoolExecutor(
+                max_workers=min(self.jobs, len(round_jobs))
+            ) as pool:
+                futures = {}
+                for key, job in round_jobs.items():
+                    attempts[key] += 1
+                    futures[pool.submit(_pool_execute, job)] = key
+                for future in as_completed(futures):
+                    key = futures[future]
+                    try:
+                        metrics = future.result()
+                    except BrokenProcessPool:
+                        crashed.append(key)
+                    except ReproError as exc:
+                        failures[key] = JobFailure(
+                            round_jobs[key], attempts[key],
+                            f"{type(exc).__name__}: {exc}",
+                        )
+                        del pending[key]
+                    except Exception as exc:  # worker died or pickling broke
+                        crashed.append(key)
+                        crash_errors[key] = f"{type(exc).__name__}: {exc}"
+                    else:
+                        self._record(key, metrics, results, stats)
+                        del pending[key]
+            for key in crashed:
+                if attempts[key] > self.retries:
+                    failures[key] = JobFailure(
+                        round_jobs[key], attempts[key],
+                        crash_errors.get(
+                            key, "worker crashed (process pool broken)"
+                        ),
+                    )
+                    del pending[key]
+                else:
+                    stats.retried += 1

@@ -1,0 +1,12 @@
+"""Shared fixtures.
+
+Every test gets a private result-cache directory so no test reads or
+writes ``~/.cache/repro`` (and cached results never leak between tests).
+"""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "result-cache"))

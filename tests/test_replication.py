@@ -23,6 +23,18 @@ class TestReplicationMath:
         r = Replication("m", (0.0, 0.0))
         assert r.cv == 0.0
 
+    def test_negative_mean_cv_is_positive(self):
+        # std / signed-mean would be negative here and rank *below* a
+        # perfectly stable metric under max(); the CV normalizes by |mean|.
+        r = Replication("m", (-1.0, -2.0, -3.0))
+        assert r.cv == pytest.approx(0.5)
+        assert r.cv > 0.0
+
+    def test_worst_cv_of_empty_report_is_zero(self):
+        report = ReplicationReport(
+            benchmark="nn", seeds=(1,), replications={})
+        assert report.worst_cv() == 0.0
+
 
 class TestReplicate:
     @pytest.fixture(scope="class")

@@ -1,0 +1,343 @@
+"""Batch runner tests: jobs, cache, pool determinism, retry, CLI wiring."""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.core.metrics import RunMetrics
+from repro.cli import main
+from repro.errors import ConfigError, RunnerError, UsageError
+from repro.runner import BatchRunner, Job, ResultCache, code_version
+from repro.runner.cache import CACHE_FORMAT
+from repro.runner.pool import FAULT_ENV
+from repro.sim.config import tiny_gpu
+
+#: One cheap job everybody reuses (tiny config, heavily scaled down).
+SCALE = 0.05
+
+
+def _job(**overrides):
+    defaults = dict(seed=1, iteration_scale=SCALE)
+    defaults.update(overrides)
+    return Job(tiny_gpu(), "nn", **defaults)
+
+
+class TestJob:
+    def test_key_is_stable(self):
+        assert _job().key() == _job().key()
+
+    def test_key_changes_with_config(self):
+        base = tiny_gpu()
+        scaled = dataclasses.replace(
+            base, l2=dataclasses.replace(base.l2, access_queue_depth=99))
+        assert Job(base, "nn").key() != Job(scaled, "nn").key()
+
+    def test_key_changes_with_run_parameters(self):
+        assert _job().key() != _job(seed=2).key()
+        assert _job().key() != _job(iteration_scale=0.1).key()
+        assert _job().key() != _job(max_cycles=1234).key()
+        assert _job().key() != Job(tiny_gpu(), "lbm",
+                                   iteration_scale=SCALE).key()
+
+    def test_key_includes_code_version(self, monkeypatch):
+        before = _job().key()
+        monkeypatch.setattr(
+            "repro.runner.job.code_version", lambda: "deadbeef")
+        assert _job().key() != before  # code changes invalidate cached keys
+        assert code_version()  # real digest is non-empty
+
+    def test_validation(self):
+        with pytest.raises(UsageError):
+            Job(tiny_gpu(), "")
+        with pytest.raises(UsageError):
+            _job(max_cycles=0)
+        with pytest.raises(UsageError):
+            _job(iteration_scale=0.0)
+
+    def test_job_pickles(self):
+        job = _job()
+        clone = pickle.loads(pickle.dumps(job))
+        assert clone == job
+        assert clone.key() == job.key()
+
+    def test_execute_runs_the_simulation(self):
+        metrics = _job().execute()
+        assert metrics.instructions > 0
+        assert not metrics.truncated
+
+    def test_execute_flags_truncated_runs(self):
+        metrics = _job(max_cycles=50).execute()
+        assert metrics.truncated
+        assert metrics.cycles <= 50
+
+    def test_describe_mentions_magic_latency(self):
+        job = Job(tiny_gpu().with_magic_memory(200), "nn",
+                  iteration_scale=SCALE)
+        assert "magic_latency=200" in job.describe()
+
+
+class TestResultCache:
+    def test_roundtrip(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        metrics = _job().execute()
+        cache.put("k" * 64, metrics)
+        assert cache.get("k" * 64) == metrics
+
+    def test_miss(self, tmp_path):
+        assert ResultCache(tmp_path / "c").get("nope") is None
+
+    def test_corrupt_entry_is_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put("k" * 64, _job().execute())
+        path = cache.entries()[0]
+        path.write_bytes(b"not a pickle")
+        assert cache.get("k" * 64) is None
+        assert cache.entries() == []
+
+    def test_wrong_format_is_discarded(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        path = cache.directory / "x.pkl"
+        cache.directory.mkdir(parents=True)
+        path.write_bytes(pickle.dumps({"format": CACHE_FORMAT + 1}))
+        assert cache.get("x") is None
+
+    def test_clear_and_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        metrics = _job().execute()
+        cache.put("a" * 64, metrics)
+        cache.put("b" * 64, metrics)
+        count, size = cache.stats()
+        assert count == 2 and size > 0
+        assert cache.clear() == 2
+        assert cache.stats() == (0, 0)
+
+    def test_env_var_sets_default_directory(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
+        assert ResultCache().directory == tmp_path / "env-cache"
+
+
+class TestBatchRunnerSerial:
+    def test_results_in_submission_order(self):
+        jobs = [_job(seed=s) for s in (3, 1, 2)]
+        results = BatchRunner.serial().run(jobs)
+        expected = [job.execute() for job in jobs]
+        assert results == expected
+
+    def test_empty_batch(self):
+        assert BatchRunner.serial().run([]) == []
+
+    def test_duplicate_jobs_execute_once(self, monkeypatch):
+        calls = []
+        original = Job.execute
+        monkeypatch.setattr(
+            Job, "execute",
+            lambda self: calls.append(self.seed) or original(self))
+        runner = BatchRunner.serial()
+        results = runner.run([_job(), _job()])
+        assert len(calls) == 1
+        assert results[0] == results[1]
+        assert runner.last_stats.unique == 1
+
+    def test_cache_hit_skips_execution(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "c")
+        runner = BatchRunner(jobs=1, cache=cache)
+        first = runner.run([_job()])
+        assert runner.last_stats.executed == 1
+
+        # A warm rerun must perform zero simulations: executing again
+        # would mean the cache key failed to identify the job.
+        def boom(self):
+            raise AssertionError("cache miss: job executed")
+
+        monkeypatch.setattr(Job, "execute", boom)
+        second = BatchRunner(jobs=1, cache=cache).run([_job()])
+        assert second == first
+
+    def test_stats_accumulate_across_runs(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        runner = BatchRunner(jobs=1, cache=cache)
+        runner.run([_job()])
+        runner.run([_job()])
+        assert runner.last_stats.cache_hits == 1
+        assert runner.total_stats.executed == 1
+        assert runner.total_stats.cache_hits == 1
+        assert runner.total_stats.jobs == 2
+
+    def test_repro_error_is_not_retried(self, monkeypatch):
+        attempts = []
+
+        def fail(self):
+            attempts.append(1)
+            raise ConfigError("deterministic failure")
+
+        monkeypatch.setattr(Job, "execute", fail)
+        runner = BatchRunner.serial()
+        with pytest.raises(RunnerError) as excinfo:
+            runner.run([_job()])
+        assert len(attempts) == 1  # rerunning a frozen config cannot help
+        assert "deterministic failure" in str(excinfo.value)
+        assert "nn(seed=1" in str(excinfo.value)
+
+    def test_unexpected_error_is_retried(self, monkeypatch):
+        attempts = []
+        original = Job.execute
+
+        def flaky(self):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise ValueError("transient")
+            return original(self)
+
+        monkeypatch.setattr(Job, "execute", flaky)
+        runner = BatchRunner(jobs=1, retries=2)
+        [metrics] = runner.run([_job()])
+        assert len(attempts) == 3
+        assert runner.last_stats.retried == 2
+        assert metrics.instructions > 0
+
+    def test_retry_budget_exhausted(self, monkeypatch):
+        monkeypatch.setattr(
+            Job, "execute",
+            lambda self: (_ for _ in ()).throw(ValueError("always")))
+        with pytest.raises(RunnerError):
+            BatchRunner(jobs=1, retries=1).run([_job()])
+
+    def test_unknown_kernel_surfaces_as_runner_error(self):
+        with pytest.raises(RunnerError) as excinfo:
+            BatchRunner.serial().run([Job(tiny_gpu(), "doom")])
+        assert "doom" in str(excinfo.value)
+
+    def test_invalid_construction(self):
+        with pytest.raises(UsageError):
+            BatchRunner(jobs=0)
+        with pytest.raises(UsageError):
+            BatchRunner(retries=-1)
+
+
+class TestBatchRunnerPool:
+    """The process-pool path (jobs > 1 with more than one pending job)."""
+
+    def test_pool_matches_serial(self):
+        jobs = [_job(seed=s) for s in (1, 2, 3)]
+        serial = BatchRunner(jobs=1).run(jobs)
+        parallel = BatchRunner(jobs=4).run(jobs)
+        assert parallel == serial
+
+    def test_pool_populates_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        runner = BatchRunner(jobs=4, cache=cache)
+        jobs = [_job(seed=s) for s in (1, 2)]
+        runner.run(jobs)
+        assert cache.stats()[0] == 2
+        warm = BatchRunner(jobs=4, cache=cache)
+        warm.run(jobs)
+        assert warm.last_stats.cache_hits == 2
+        assert warm.last_stats.executed == 0
+
+    def test_worker_crash_is_retried(self, tmp_path, monkeypatch):
+        fault = tmp_path / "fault"
+        fault.write_text("1")  # first worker to pick this up dies hard
+        monkeypatch.setenv(FAULT_ENV, str(fault))
+        runner = BatchRunner(jobs=2, retries=2)
+        results = runner.run([_job(seed=s) for s in (1, 2)])
+        assert len(results) == 2
+        assert runner.last_stats.retried >= 1
+        assert fault.read_text().strip() == "0"
+
+    def test_persistent_crash_exhausts_retries(self, tmp_path, monkeypatch):
+        fault = tmp_path / "fault"
+        fault.write_text("99")  # every attempt dies
+        monkeypatch.setenv(FAULT_ENV, str(fault))
+        runner = BatchRunner(jobs=2, retries=0)
+        with pytest.raises(RunnerError) as excinfo:
+            runner.run([_job(seed=s) for s in (1, 2)])
+        assert "crashed" in str(excinfo.value)
+
+    def test_pool_repro_error_not_retried(self):
+        jobs = [Job(tiny_gpu(), "doom"), Job(tiny_gpu(), "lbm",
+                                             iteration_scale=SCALE)]
+        runner = BatchRunner(jobs=2, retries=2)
+        with pytest.raises(RunnerError) as excinfo:
+            runner.run(jobs)
+        # The healthy job completed; only the bad one is reported.
+        assert "doom" in str(excinfo.value)
+        assert runner.last_stats.executed == 1
+
+
+class TestCLI:
+    PROFILE_ARGS = [
+        "latency-profile", "--config", "tiny", "--scale", "0.1",
+        "--benchmarks", "nn", "--latencies", "0", "200",
+    ]
+
+    def test_jobs_1_jobs_4_and_warm_cache_are_byte_identical(self, capsys):
+        assert main([*self.PROFILE_ARGS, "--jobs", "1"]) == 0
+        cold_serial = capsys.readouterr().out
+        assert main([*self.PROFILE_ARGS, "--jobs", "4", "--no-cache"]) == 0
+        cold_parallel = capsys.readouterr().out
+        assert main([*self.PROFILE_ARGS, "--jobs", "4"]) == 0
+        captured = capsys.readouterr()
+        assert cold_parallel == cold_serial
+        assert captured.out == cold_serial
+        assert "served from cache" in captured.err  # warm rerun note
+
+    def test_run_uses_cache_on_rerun(self, capsys):
+        args = ["run", "nn", "--config", "tiny", "--scale", "0.1"]
+        assert main(args) == 0
+        first = capsys.readouterr()
+        assert main(args) == 0
+        second = capsys.readouterr()
+        assert second.out == first.out
+        assert "served from cache" in second.err
+
+    def test_cache_info_and_clear(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cli-cache"
+        args = ["run", "nn", "--config", "tiny", "--scale", "0.1",
+                "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        assert "1 entries" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", str(cache_dir)]) == 0
+        assert "removed 1" in capsys.readouterr().out
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        assert "0 entries" in capsys.readouterr().out
+
+    def test_no_cache_flag_bypasses_store(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cli-cache"
+        assert main([
+            "run", "nn", "--config", "tiny", "--scale", "0.1",
+            "--cache-dir", str(cache_dir), "--no-cache",
+        ]) == 0
+        capsys.readouterr()
+        assert not cache_dir.exists()
+
+    def test_failed_batch_exits_2(self, capsys, monkeypatch):
+        monkeypatch.setattr(
+            Job, "execute",
+            lambda self: (_ for _ in ()).throw(ConfigError("boom")))
+        assert main([
+            "congestion", "--config", "tiny", "--scale", "0.1",
+            "--benchmarks", "nn", "--jobs", "1",
+        ]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "boom" in err
+
+
+class TestTruncationFlag:
+    def test_truncated_metrics_survive_the_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        runner = BatchRunner(jobs=1, cache=cache)
+        [cold] = runner.run([_job(max_cycles=50)])
+        [warm] = BatchRunner(jobs=1, cache=cache).run([_job(max_cycles=50)])
+        assert cold.truncated and warm.truncated
+
+    def test_truncated_is_exported(self):
+        metrics = _job(max_cycles=50).execute()
+        from repro.utils.export import metrics_to_dict
+        assert metrics_to_dict(metrics)["truncated"] is True
+
+    def test_runmetrics_default_is_not_truncated(self):
+        assert RunMetrics.__dataclass_fields__["truncated"].default is False
