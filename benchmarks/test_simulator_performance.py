@@ -26,7 +26,10 @@ def test_perf_congested_run(benchmark, baseline_config):
     gpu = benchmark(lambda: _run(baseline_config, kernel))
     kcycles_per_s = gpu.cycles / 1000 / benchmark.stats["mean"]
     benchmark.extra_info["sim_kcycles_per_s"] = round(kcycles_per_s, 1)
-    assert kcycles_per_s > 1.0  # loose floor: ~1k cycles/s minimum
+    # Floors are ~25% of the reference-machine rates (congested ~10k,
+    # compute ~25k, magic ~48k kcycles/s) — slack for slower CI runners,
+    # tight enough to catch an accidental hot-path regression.
+    assert kcycles_per_s > 2.5
 
 
 @pytest.mark.benchmark(group="perf")
@@ -36,7 +39,7 @@ def test_perf_compute_bound_run(benchmark, baseline_config):
     gpu = benchmark(lambda: _run(baseline_config, kernel))
     kcycles_per_s = gpu.cycles / 1000 / benchmark.stats["mean"]
     benchmark.extra_info["sim_kcycles_per_s"] = round(kcycles_per_s, 1)
-    assert kcycles_per_s > 2.0
+    assert kcycles_per_s > 6.0
 
 
 @pytest.mark.benchmark(group="perf")
@@ -48,4 +51,4 @@ def test_perf_magic_mode_run(benchmark, baseline_config):
     gpu = benchmark(lambda: _run(config, kernel))
     kcycles_per_s = gpu.cycles / 1000 / benchmark.stats["mean"]
     benchmark.extra_info["sim_kcycles_per_s"] = round(kcycles_per_s, 1)
-    assert kcycles_per_s > 2.0
+    assert kcycles_per_s > 12.0

@@ -47,6 +47,11 @@ class AccessResult(enum.Enum):
 for _result in AccessResult:
     _result.is_stall = _result.name.startswith("STALL")
 
+# Members are singletons, so identity hashing is equivalent to the default
+# Enum hash (which is a Python-level function, measurably hot in the
+# per-cycle stall accounting dicts); object.__hash__ runs in C.
+AccessResult.__hash__ = object.__hash__
+
 
 class L1DCache:
     """One SM's private L1 data cache.
@@ -210,9 +215,11 @@ class L1DCache:
                 self._pending_writebacks.append(evicted.line)
             self.fills_installed += 1
             for original in entry.requests:
-                original.stamp("l1_fill", now)
-                waited = original.latency("l1_miss", "l1_fill")
-                if waited is not None:
+                timestamps = original.timestamps
+                timestamps["l1_fill"] = now
+                missed_at = timestamps.get("l1_miss")
+                if missed_at is not None:
+                    waited = now - missed_at
                     self.miss_latency.add(waited)
                     self.miss_latency_hist.add(waited)
                 completed.append(original)

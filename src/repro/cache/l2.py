@@ -29,7 +29,7 @@ from repro.mem.address import AddressMapper
 from repro.mem.pipe import DelayPipe
 from repro.mem.queue import StatQueue
 from repro.mem.request import AccessKind, MemoryRequest
-from repro.sim.component import Component
+from repro.sim.component import WAKE_NEVER, Component
 from repro.sim.config import GPUConfig
 
 
@@ -101,12 +101,7 @@ class L2Slice(Component):
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
         # Fast path: nothing in flight anywhere in the slice.
-        if (
-            self.access_queue.empty
-            and not self._pending_responses
-            and (self.dram is None or self.dram.return_queue.empty)
-            and all(b.output is None and b.pipe.empty for b in self.banks)
-        ):
+        if self.next_wake(now) > now:
             return
         for bank in self.banks:
             bank.accepted_this_cycle = False
@@ -114,6 +109,24 @@ class L2Slice(Component):
         self._emit_pending_responses(now)
         self._step_bank_outputs(now)
         self._step_bank_inputs(now)
+
+    def next_wake(self, now: int) -> int:
+        if (
+            self.access_queue._items
+            or self._pending_responses
+            or (self.dram is not None and self.dram.return_queue._items)
+        ):
+            return now
+        # Quiet front end: the only time-dependent state is requests in
+        # the bank pipelines (a held output register retries every cycle).
+        wake = WAKE_NEVER
+        for bank in self.banks:
+            if bank.output is not None:
+                return now
+            heap = bank.pipe._heap
+            if heap and heap[0][0] < wake:
+                wake = heap[0][0]
+        return wake if wake > now else now
 
     # ------------------------------------------------------------------
     # fills from DRAM

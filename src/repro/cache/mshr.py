@@ -92,13 +92,13 @@ class MSHRTable:
         if len(self._entries) >= self.capacity:
             self.alloc_fails += 1
             return False
-        entry = MSHREntry(line=request.line, allocated_at=now)
-        entry.requests.append(request)
-        entry.has_store = request.is_write
+        entry = MSHREntry(request.line, now, [request], request.is_write)
         self._entries[request.line] = entry
         self.allocations += 1
-        self._busy_time.update(now, True)
-        if len(self._entries) >= self.capacity:
+        occupancy = len(self._entries)
+        if occupancy == 1:
+            self._busy_time.update(now, True)
+        if occupancy >= self.capacity:
             self._full_time.update(now, True)
         return True
 
@@ -125,8 +125,10 @@ class MSHRTable:
                 f"{self.name}: release of absent line {line:#x}"
             )
         self.releases += 1
-        self._full_time.update(now, False)
-        if not self._entries:
+        remaining = len(self._entries)
+        if remaining >= self.capacity - 1:
+            self._full_time.update(now, False)  # falling edge (was full)
+        if not remaining:
             self._busy_time.update(now, False)
         return entry
 

@@ -61,7 +61,18 @@ class TagArray:
         self.n_sets = n_sets
         self.assoc = assoc
         self._sets = [[_Way() for _ in range(assoc)] for _ in range(n_sets)]
+        #: Per-set ``line -> way index`` for the non-INVALID ways, so the
+        #: per-access probe is a dict lookup instead of a way scan.
+        #: Maintained by reserve/fill/invalidate (the only tag mutators).
+        self._tag_map: list[dict[int, int]] = [{} for _ in range(n_sets)]
         self._policy = make_policy(policy, n_sets, assoc)
+        #: Per-set recency/insertion stamp rows when the policy ranks ways
+        #: by a plain stamp (LRU/FIFO): lets :meth:`_allocate` pick the
+        #: victim during its way scan instead of gathering candidates for a
+        #: policy callback.  None for structural policies (PLRU).
+        self._stamp_rows = getattr(self._policy, "_last_use", None)
+        if self._stamp_rows is None:
+            self._stamp_rows = getattr(self._policy, "_installed", None)
         self.lookups = RatioStat(f"{name}.hit_rate")
         #: Reservation failures (all candidate ways of a set reserved).
         self.reservation_fails: int = 0
@@ -73,11 +84,8 @@ class TagArray:
         return line & (self.n_sets - 1)
 
     def _find(self, line: int) -> tuple[int, int | None]:
-        set_idx = self.set_index(line)
-        for way_idx, way in enumerate(self._sets[set_idx]):
-            if way.tag == line and way.state is not LineState.INVALID:
-                return set_idx, way_idx
-        return set_idx, None
+        set_idx = line & (self.n_sets - 1)
+        return set_idx, self._tag_map[set_idx].get(line)
 
     # ------------------------------------------------------------------
     # operations
@@ -116,6 +124,60 @@ class TagArray:
             raise SimulationError(f"{self.name}: mark_dirty on absent line {line:#x}")
         self._sets[set_idx][way_idx].dirty = True
 
+    def _allocate(self, set_idx: int, line: int) -> tuple[int, Eviction | None] | None:
+        """Claim a way for ``line`` in RESERVED state; None when every way
+        is reserved.  Single pass: stops at the first INVALID way, else
+        picks the policy victim among the VALID ways gathered en route."""
+        ways = self._sets[set_idx]
+        victim_idx = None
+        evicted = None
+        stamp_rows = self._stamp_rows
+        if stamp_rows is not None:
+            # Stamp-ranked policy (LRU/FIFO): fold victim selection into
+            # the way scan.  Strict < keeps min()'s first-minimum tie-break.
+            stamps = stamp_rows[set_idx]
+            best_idx = None
+            best_stamp = 0
+            for way_idx, way in enumerate(ways):
+                state = way.state
+                if state is LineState.INVALID:
+                    victim_idx = way_idx
+                    break
+                if state is LineState.VALID:
+                    stamp = stamps[way_idx]
+                    if best_idx is None or stamp < best_stamp:
+                        best_idx = way_idx
+                        best_stamp = stamp
+            else:
+                if best_idx is None:
+                    return None
+                victim_idx = best_idx
+                victim = ways[victim_idx]
+                evicted = Eviction(line=victim.tag, dirty=victim.dirty)
+                del self._tag_map[set_idx][victim.tag]
+        else:
+            candidates: list[int] = []
+            for way_idx, way in enumerate(ways):
+                state = way.state
+                if state is LineState.INVALID:
+                    victim_idx = way_idx
+                    break
+                if state is LineState.VALID:
+                    candidates.append(way_idx)
+            if victim_idx is None:
+                if not candidates:
+                    return None
+                victim_idx = self._policy.victim(set_idx, candidates)
+                victim = ways[victim_idx]
+                evicted = Eviction(line=victim.tag, dirty=victim.dirty)
+                del self._tag_map[set_idx][victim.tag]
+        way = ways[victim_idx]
+        way.tag = line
+        way.state = LineState.RESERVED
+        way.dirty = False
+        self._tag_map[set_idx][line] = victim_idx
+        return victim_idx, evicted
+
     def reserve(self, line: int, now: int) -> Eviction | None | bool:
         """Reserve a way for a future fill of ``line``.
 
@@ -124,29 +186,11 @@ class TagArray:
         chosen by the replacement policy among non-reserved ways, preferring
         invalid ways.
         """
-        set_idx = self.set_index(line)
-        ways = self._sets[set_idx]
-        victim_idx = None
-        for way_idx, way in enumerate(ways):
-            if way.state is LineState.INVALID:
-                victim_idx = way_idx
-                break
-        evicted = None
-        if victim_idx is None:
-            candidates = [
-                i for i, way in enumerate(ways) if way.state is LineState.VALID
-            ]
-            if not candidates:
-                self.reservation_fails += 1
-                return False
-            victim_idx = self._policy.victim(set_idx, candidates)
-            victim = ways[victim_idx]
-            evicted = Eviction(line=victim.tag, dirty=victim.dirty)
-        way = ways[victim_idx]
-        way.tag = line
-        way.state = LineState.RESERVED
-        way.dirty = False
-        return evicted
+        result = self._allocate(line & (self.n_sets - 1), line)
+        if result is None:
+            self.reservation_fails += 1
+            return False
+        return result[1]
 
     def fill(self, line: int, now: int, *, dirty: bool = False) -> Eviction | None:
         """Install ``line`` as VALID.
@@ -155,21 +199,16 @@ class TagArray:
         allocates a victim directly (the L1 path, which does not reserve).
         Returns any displaced line.
         """
-        set_idx, way_idx = self._find(line)
+        set_idx = line & (self.n_sets - 1)
+        way_idx = self._tag_map[set_idx].get(line)
         evicted: Eviction | None = None
         if way_idx is None:
-            result = self.reserve(line, now)
-            if result is False:
+            result = self._allocate(set_idx, line)
+            if result is None:
                 raise SimulationError(
                     f"{self.name}: fill of {line:#x} found no allocatable way"
                 )
-            evicted = result  # type: ignore[assignment]
-            set_idx, way_idx = self._find(line)
-            if way_idx is None:
-                raise SimulationError(
-                    f"{self.name}: reserved way for {line:#x} vanished "
-                    "before fill"
-                )
+            way_idx, evicted = result
         way = self._sets[set_idx][way_idx]
         way.state = LineState.VALID
         way.dirty = dirty
@@ -184,6 +223,7 @@ class TagArray:
         way = self._sets[set_idx][way_idx]
         if way.state is not LineState.VALID:
             return False
+        del self._tag_map[set_idx][line]
         way.state = LineState.INVALID
         way.tag = -1
         way.dirty = False

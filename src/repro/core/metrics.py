@@ -206,8 +206,15 @@ def run_kernel(
     trace: bool = False,
     trace_stride: int | None = None,
     trace_limit: int | None = None,
+    fast_forward: bool = True,
 ) -> RunMetrics:
     """Build, run and measure one kernel on one configuration.
+
+    ``fast_forward`` controls the engine's event-horizon jump over
+    provably idle cycles (byte-identical metrics either way; it is
+    suspended automatically while sanitizer/telemetry observers are
+    attached).  Disabling it forces the naive cycle loop — the reference
+    the determinism tests compare against.
 
     With ``sanitize``, a :class:`repro.analysis.Sanitizer` checks the
     model's invariants every ``sanitize_interval`` cycles and raises
@@ -230,6 +237,7 @@ def run_kernel(
     to a labelled lower bound instead.)
     """
     gpu = GPU(config, kernel, seed=seed)
+    gpu.sim.fast_forward_enabled = fast_forward
     sanitizer = None
     if sanitize:
         from repro.analysis.sanitizer import Sanitizer

@@ -20,10 +20,10 @@ from __future__ import annotations
 from collections import deque
 
 from repro.cache.l1 import AccessResult, L1DCache
-from repro.cores.scheduler import make_warp_scheduler
+from repro.cores.scheduler import LRRScheduler, make_warp_scheduler
 from repro.cores.warp import LoadInstr, Warp, WarpState
 from repro.mem.request import AccessKind, MemoryRequest, RequestFactory
-from repro.sim.component import Component
+from repro.sim.component import WAKE_NEVER, Component
 from repro.sim.config import GPUConfig
 
 #: Outcomes of one issue attempt.
@@ -63,6 +63,22 @@ class SM(Component):
         self._ldst_capacity = config.core.ldst_queue_depth
         self._issue_width = config.core.issue_width
         self._mem_width = config.core.mem_pipeline_width
+        # Heap aliases for the completion-readiness test on the per-cycle
+        # path (heapq mutates the lists in place, so the aliases stay
+        # valid); see step().
+        self._hit_heap = self.l1._hit_pipe._heap
+        self._fill_heap = self.l1._fill_pipe._heap
+        #: Alias of the L1's pending-writeback list (mutated in place), one
+        #: attribute hop instead of two on the per-cycle wake checks.
+        self._l1_writebacks = self.l1._pending_writebacks
+        #: The LRR ready deque (None for other policies): burst batching
+        #: (see _burst_horizon) needs the exact issue rotation, which is
+        #: only modelled for loose round robin.
+        self._lrr_queue = (
+            self.scheduler._queue
+            if isinstance(self.scheduler, LRRScheduler)
+            else None
+        )
         #: rid -> LoadInstr for outstanding load transactions.
         self._txn_tracker: dict[int, LoadInstr] = {}
         self._retired = 0
@@ -84,19 +100,270 @@ class SM(Component):
         self._stalled_rid = -1
         self._stalled_epoch = -1
         self._stalled_cause = None
+        #: True when the last issue pass proved futile: every ready warp
+        #: holds a fetched memory instruction that cannot fit in the LD/ST
+        #: queue, and nothing issued.  Until an L1 event frees queue space
+        #: or wakes a warp, re-running issue is pointless — the SM may
+        #: sleep despite having ready warps.
+        self._issue_frozen = False
+        #: Component-local burst window (see step()): cycles strictly
+        #: before ``_skip_until`` are pure round-robin compute issue and
+        #: are skipped, then replayed lazily; ``_skipped`` counts how many
+        #: are pending replay.  Only armed in fast mode.
+        self._fast_mode = False
+        self._skip_until = 0
+        self._skipped = 0
+        #: Post-step horizon memo: True when the last step computed a zero
+        #: burst horizon (a front warp must fetch next cycle), letting
+        #: next_wake veto without rescanning the ready queue.
+        self._fetch_due = False
+        #: Fill-heap length when the current window opened; a mismatch
+        #: during a skipped cycle means an external fill arrived.
+        self._fill_len = 0
+        #: All warps retired (their loads necessarily completed).  A plain
+        #: attribute maintained by :meth:`_retire`; read every cycle by
+        #: ``GPU.done``.
+        self.done = self._retired == len(self.warps)
 
     # ------------------------------------------------------------------
     # component protocol
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
+        fill_heap = self._fill_heap
+        hit_heap = self._hit_heap
+        if now < self._skip_until:
+            # Inside a local burst window: unless an external event (a fill
+            # arriving from the response network) cuts it short, this cycle
+            # is deterministic — defer it for batched replay.  Writebacks
+            # and the hit pipe only change in our own steps and the window
+            # was clamped to their due times when it opened, so the fill
+            # heap is the one live wake source; a length change is the
+            # only way it gains work while we sleep.
+            if len(fill_heap) == self._fill_len:
+                self._skipped += 1
+                return
+            # New fill(s) landed mid-window: shrink the window to their
+            # earliest ready time; only a fill due now forces a real step.
+            self._fill_len = len(fill_heap)
+            head = fill_heap[0][0]
+            if head > now:
+                if head < self._skip_until:
+                    self._skip_until = head
+                self._skipped += 1
+                return
+        if self._skipped:
+            # Real step inside/after a window: materialize the deferred
+            # cycles first, then close the window (a real step mutates the
+            # ready pool, invalidating the horizon it was opened under).
+            skipped = self._skipped
+            self._skipped = 0
+            self._replay(skipped)
+        self._skip_until = 0
         self.cycles += 1
         if self._quiesced:
             return
-        self._process_completions(now)
-        self._drain_ldst(now)
+        if (
+            self._l1_writebacks
+            or (fill_heap and fill_heap[0][0] <= now)
+            or (hit_heap and hit_heap[0][0] <= now)
+        ):
+            self._process_completions(now)
+        if self._ldst_queue:
+            self._drain_ldst(now)
         self._issue(now)
+        self._fetch_due = False
         if self.done and not self._ldst_queue and self.l1.is_idle():
             self._quiesced = True
+        elif (
+            self._fast_mode
+            and not self._ldst_queue
+            and not self._l1_writebacks
+        ):
+            # Open the next local window: from the post-step state, the
+            # next `window` cycles are deterministic regardless of what
+            # the rest of the machine does (fill arrivals are checked per
+            # skipped cycle above).  Two shapes qualify: a pure compute
+            # burst (replayed as round-robin issue), and a fully blocked
+            # SM waiting on loads (replayed as no-ready cycles, woken by
+            # the fill-heap guard).  The window is clamped to the earliest
+            # event already sitting in the completion heaps, so the
+            # skip-cycle guard only has to watch for *new* fills.
+            until = 0
+            if len(self.scheduler):
+                if self._lrr_queue is not None:
+                    window = self._burst_horizon()
+                    if window:
+                        until = now + window + 1
+                    else:
+                        self._fetch_due = True
+            elif not self.done:
+                until = WAKE_NEVER
+            if until:
+                if fill_heap:
+                    head = fill_heap[0][0]
+                    if head < until:
+                        until = head
+                if hit_heap and hit_heap[0][0] < until:
+                    until = hit_heap[0][0]
+                self._fill_len = len(fill_heap)
+                self._skip_until = until
+
+    def set_fast_mode(self, enabled: bool) -> None:
+        self._fast_mode = enabled
+
+    def next_wake(self, now: int) -> int:
+        if self._quiesced:
+            return WAKE_NEVER
+        burst_wake = WAKE_NEVER
+        if len(self.scheduler):
+            if not self._issue_frozen:
+                if self._fetch_due:
+                    return now  # a warp fetches (or starve-counts) this cycle
+                until = self._skip_until
+                if until > now:
+                    # Local window open: its end IS the burst horizon
+                    # (fast_forward flushes the deferred cycles before any
+                    # global replay, so the two compose).
+                    burst_wake = until
+                elif self._skipped:
+                    return now  # window just expired; flush in a real step
+                else:
+                    # Every ready warp mid compute burst: issue itself is
+                    # deterministic for `window` cycles and replayable by
+                    # fast_forward (still subject to the wake sources below).
+                    window = self._burst_horizon()
+                    if not window:
+                        return now
+                    burst_wake = now + window
+        elif self.done and not self._ldst_queue and self.l1.is_idle():
+            return now  # let a real step latch _quiesced
+        l1 = self.l1
+        if self._ldst_queue:
+            head = self._ldst_queue[0]
+            if head.rid != self._stalled_rid or (
+                l1.fills_installed + l1.mshr.releases + l1.miss_queue.pops
+            ) != self._stalled_epoch:
+                return now  # fresh head, or a resource event cleared the stall
+        if self._l1_writebacks:
+            return now
+        wake = burst_wake
+        if self._fill_heap and self._fill_heap[0][0] < wake:
+            wake = self._fill_heap[0][0]
+        if self._hit_heap and self._hit_heap[0][0] < wake:
+            wake = self._hit_heap[0][0]
+        return wake if wake > now else now
+
+    def fast_forward(self, cycles: int) -> None:
+        # A global jump granted while a local window is open: the deferred
+        # local cycles come first (they precede the jumped window), then
+        # the jump itself — both replay on the live queue in order.
+        if self._skipped:
+            skipped = self._skipped
+            self._skipped = 0
+            self._skip_until = 0
+            self._replay(skipped)
+        self._replay(cycles)
+
+    def _replay(self, cycles: int) -> None:
+        # Replays exactly what the skipped steps would have counted: the
+        # jump only happens with no ready warp (or a frozen issue stage),
+        # with the LD/ST head (if any) stalled on an unchanged L1 resource
+        # epoch, or through a compute-burst horizon.
+        self.cycles += cycles
+        if self._quiesced:
+            return
+        if self._ldst_queue:
+            self.mem_pipeline_stall_cycles += cycles
+            cause = self._stalled_cause
+            self.stall_cycles_by_cause[cause] = (
+                self.stall_cycles_by_cause.get(cause, 0) + cycles
+            )
+        if len(self.scheduler):
+            if self._issue_frozen:
+                # Frozen issue stage: ready warps exist but none can issue
+                # (_issue would count a starved cycle, not no-ready).
+                self.issue_starved_cycles += cycles
+            else:
+                # Jump granted through a compute-burst horizon: replay the
+                # round-robin issue the skipped cycles would have done.
+                self._replay_burst(cycles)
+        else:
+            self.no_ready_warp_cycles += cycles
+
+    def _burst_horizon(self) -> int:
+        """Cycles over which issue is a pure, replayable compute burst.
+
+        Non-zero only when every ready warp is mid compute burst
+        (``remaining_compute > 0``) under the LRR scheduler: then each
+        cycle issues ``min(issue_width, ready)`` compute instructions
+        round-robin with no other state change, so the whole window can
+        be replayed arithmetically by :meth:`_replay_burst`.  The window
+        ends strictly before any warp would need to fetch.  Returns 0
+        when the next cycle must step normally.  (Assumes the SM ticks on
+        the core clock, as :class:`repro.gpu.GPU` registers it.)
+        """
+        queue = self._lrr_queue
+        if queue is None:
+            return 0
+        width = self._issue_width
+        k = len(queue)
+        if k <= width:
+            # Every ready warp issues once per cycle; the window ends when
+            # the shortest burst empties (its next issue would fetch).
+            best = WAKE_NEVER
+            for warp in queue:
+                remaining = warp.remaining_compute
+                if remaining <= 0:
+                    return 0
+                if remaining < best:
+                    best = remaining
+            return best
+        # width issues per cycle rotate through the k ready warps, so the
+        # warp at queue position p receives global issue indices
+        # p, p + k, p + 2k, ...; its first post-burst issue (the fetch)
+        # lands at index p + remaining * k, i.e. cycle (p + r*k) // width.
+        # A warp already at remaining == 0 just bounds the window to the
+        # cycle of its next turn (p // width) — it issues nothing before.
+        best = WAKE_NEVER
+        p = 0
+        for warp in queue:
+            t = (p + warp.remaining_compute * k) // width
+            if t < best:
+                if not t:
+                    return 0
+                best = t
+            p += 1
+        return best
+
+    def _replay_burst(self, cycles: int) -> None:
+        """Apply ``cycles`` skipped cycles of round-robin compute issue.
+
+        Exact counterpart of what :meth:`_issue`'s compute fast path would
+        have done cycle by cycle (valid for any window within
+        :meth:`_burst_horizon`): per-warp issue counts, instruction
+        counters and the LRR rotation.
+        """
+        queue = self._lrr_queue
+        width = self._issue_width
+        k = len(queue)
+        if k <= width:
+            for warp in queue:
+                warp.remaining_compute -= cycles
+                warp.instructions += cycles
+            self.instructions += k * cycles
+            return
+        issues = width * cycles
+        base, extra = divmod(issues, k)
+        p = 0
+        for warp in queue:
+            count = base + 1 if p < extra else base
+            if count:
+                warp.remaining_compute -= count
+                warp.instructions += count
+            p += 1
+        self.instructions += issues
+        if extra:
+            queue.rotate(-extra)
 
     def _process_completions(self, now: int) -> None:
         for request in self.l1.collect_completions(now):
@@ -125,10 +392,12 @@ class SM(Component):
         if not queue:
             return
         head = queue[0]
+        l1 = self.l1
         if head.rid == self._stalled_rid:
             # The head stalled before; retry only once an L1 resource event
             # (fill, MSHR release, miss-queue pop) could have unblocked it.
-            epoch = self.l1.resource_epoch()
+            # (Inlined l1.resource_epoch(): per-cycle path.)
+            epoch = l1.fills_installed + l1.mshr.releases + l1.miss_queue.pops
             if epoch == self._stalled_epoch:
                 self.mem_pipeline_stall_cycles += 1
                 cause = self._stalled_cause
@@ -140,14 +409,16 @@ class SM(Component):
         sent = 0
         while queue and sent < self._mem_width:
             request = queue[0]
-            result = self.l1.try_access(request, now)
+            result = l1.try_access(request, now)
             if result.is_stall:
                 self.mem_pipeline_stall_cycles += 1
                 self.stall_cycles_by_cause[result] = (
                     self.stall_cycles_by_cause.get(result, 0) + 1
                 )
                 self._stalled_rid = request.rid
-                self._stalled_epoch = self.l1.resource_epoch()
+                self._stalled_epoch = (
+                    l1.fills_installed + l1.mshr.releases + l1.miss_queue.pops
+                )
                 self._stalled_cause = result
                 break
             queue.popleft()
@@ -155,15 +426,58 @@ class SM(Component):
 
     def _issue(self, now: int) -> None:
         issued = 0
-        candidates = self.scheduler.candidates()
-        if not candidates:
-            self.no_ready_warp_cycles += 1
-            return
+        width = self._issue_width
+        queue = self._lrr_queue
+        if queue is not None:
+            # LRR fast path: drain compute bursts straight off the ready
+            # rotation without snapshotting it (``issued()`` for the head
+            # warp is exactly a rotate).  Falls back to the general loop
+            # for fetches, with the already-issued warps — now rotated to
+            # the back — sliced off the snapshot so every warp is still
+            # visited at most once per cycle.
+            qlen = len(queue)
+            if not qlen:
+                self.no_ready_warp_cycles += 1
+                return
+            limit = width if width <= qlen else qlen
+            while issued < limit:
+                warp = queue[0]
+                remaining = warp.remaining_compute
+                if remaining <= 0:
+                    break
+                warp.remaining_compute = remaining - 1
+                self.instructions += 1
+                warp.instructions += 1
+                issued += 1
+                queue.rotate(-1)
+            if issued >= limit:
+                self._issue_frozen = False
+                return
+            candidates = list(queue)
+            if issued:
+                del candidates[qlen - issued:]
+        else:
+            candidates = self.scheduler.candidates()
+            if not candidates:
+                self.no_ready_warp_cycles += 1
+                return
+        scheduler = self.scheduler
         mem_blocked = False
+        churned = False
         for warp in candidates:
-            if issued >= self._issue_width:
+            if issued >= width:
                 break
-            if mem_blocked and warp.remaining_compute == 0:
+            remaining = warp.remaining_compute
+            if remaining > 0:
+                # Fast path for the common case (draining a compute burst);
+                # equivalent to _issue_one's compute branch.
+                warp.remaining_compute = remaining - 1
+                self.instructions += 1
+                warp.instructions += 1
+                issued += 1
+                scheduler.issued(warp)
+                continue
+            if mem_blocked:
                 pending = warp.pending_instr
                 if pending is not None and pending[0] != "compute":
                     # In-order LD/ST dispatch: once one memory instruction
@@ -173,11 +487,22 @@ class SM(Component):
             result = self._issue_one(warp, now)
             if result == _ISSUED:
                 issued += 1
-                self.scheduler.issued(warp)
+                scheduler.issued(warp)
             elif result == _MEM_STALL:
                 mem_blocked = True
+            else:
+                # _NO_ISSUE: the warp left the ready pool and a throttled
+                # warp may have activated in its place — the pool changed,
+                # so this cycle cannot prove the next one futile.
+                churned = True
         if issued == 0:
             self.issue_starved_cycles += 1
+            # A pass that stalled on LD/ST space, issued nothing and left
+            # the ready pool untouched will repeat verbatim every cycle
+            # until an L1 resource event; next_wake may sleep through it.
+            self._issue_frozen = mem_blocked and not churned
+        else:
+            self._issue_frozen = False
 
     def _issue_one(self, warp: Warp, now: int) -> int:
         """Issue one instruction from ``warp``.
@@ -258,19 +583,23 @@ class SM(Component):
             self._retired += 1
             if self._inactive_warps:
                 self.scheduler.add(self._inactive_warps.popleft())
+            elif self._retired == len(self.warps):
+                self.done = True
 
     # ------------------------------------------------------------------
     # status
     # ------------------------------------------------------------------
-    @property
-    def done(self) -> bool:
-        """All warps retired (their loads necessarily completed)."""
-        return self._retired == len(self.warps)
-
     def is_idle(self) -> bool:
         return self.done and not self._ldst_queue and self.l1.is_idle()
 
     def finalize(self, now: int) -> None:
+        if self._skipped:
+            # A run truncated mid-window: materialize the deferred cycles
+            # so counters match the naive loop at the cut-off.
+            skipped = self._skipped
+            self._skipped = 0
+            self._skip_until = 0
+            self._replay(skipped)
         self.l1.finalize(now)
 
     # ------------------------------------------------------------------

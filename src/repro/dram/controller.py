@@ -20,15 +20,22 @@ queue, so completions can never wedge the controller.
 
 from __future__ import annotations
 
+import operator
+
 from repro.dram.bankstate import BankState
 from repro.dram.scheduler import ACTIVATE, make_scheduler
 from repro.mem.address import AddressMapper
 from repro.mem.pipe import DelayPipe
 from repro.mem.queue import StatQueue
 from repro.mem.request import AccessKind, MemoryRequest
-from repro.sim.component import Component
+from repro.sim.component import WAKE_NEVER, Component
 from repro.sim.config import GPUConfig
 from repro.utils.stats import Accumulator
+
+#: Accessors handed to the scheduling policy: C-level attribute reads of
+#: the coordinates `_admit` caches on each request.
+_CACHED_BANK = operator.attrgetter("dram_bank")
+_CACHED_ROW = operator.attrgetter("dram_row")
 
 
 class DRAMChannel(Component):
@@ -76,9 +83,9 @@ class DRAMChannel(Component):
     def step(self, now: int) -> None:
         # Fast path: controller completely idle and nothing to admit.
         if (
-            self.sched_queue.empty
-            and self._completions.empty
-            and (self.l2 is None or self.l2.miss_queue.empty)
+            not self.sched_queue._items
+            and not self._completions._heap
+            and (self.l2 is None or not self.l2.miss_queue._items)
         ):
             return
         if self._next_refresh is not None and now >= self._next_refresh:
@@ -86,6 +93,37 @@ class DRAMChannel(Component):
         self._retire(now)
         self._admit(now)
         self._issue(now)
+
+    def next_wake(self, now: int) -> int:
+        # Mirrors step(): the idle fast path defers even refreshes, so an
+        # idle channel sleeps until external input (the L2 miss queue,
+        # which the L2's own hint covers).
+        if self.l2 is not None and self.l2.miss_queue._items:
+            return now
+        wake = WAKE_NEVER
+        heap = self._completions._heap
+        if heap:
+            ready = heap[0][0]
+            if ready <= now:
+                return now  # a completion retires (or head-of-line blocks)
+            wake = ready
+        if self.sched_queue._items:
+            # A command can issue as soon as any bank's timing expires; the
+            # bus-booking window only ever delays a CAS past that point.
+            for bank in self.banks:
+                until = bank.busy_until
+                if until <= now:
+                    return now
+                if until < wake:
+                    wake = until
+        if wake != WAKE_NEVER and self._next_refresh is not None:
+            # Busy channels take refresh lockouts at their due cycle.
+            refresh = self._next_refresh
+            if refresh <= now:
+                return now
+            if refresh < wake:
+                wake = refresh
+        return wake
 
     def _refresh(self, now: int) -> None:
         """Lock every bank out for a refresh and close its row."""
@@ -127,10 +165,21 @@ class DRAMChannel(Component):
         if not miss_queue.empty and self.sched_queue.can_push():
             request = miss_queue.pop(now)
             request.stamp("dram_in", now)
+            # Cache the bank/row coordinates once; the scheduler's
+            # first-ready scan consults them every cycle the request waits.
+            request.dram_bank = self._mapper.dram_bank(request.line)
+            request.dram_row = self._mapper.dram_row(request.line)
             self.sched_queue.push(request, now)
 
     def _issue(self, now: int) -> None:
         if self.sched_queue.empty:
+            return
+        # Both command kinds need a bank whose timing has expired, so a
+        # channel with every bank mid-access can skip the queue scan.
+        for bank in self.banks:
+            if now >= bank.busy_until:
+                break
+        else:
             return
         timing = self._config.dram
         headroom = self.return_queue.capacity - len(self.return_queue)
@@ -151,16 +200,16 @@ class DRAMChannel(Component):
         choice = self._scheduler.select(
             self.sched_queue,
             self.banks,
-            self._bank_of,
-            self._row_of,
+            _CACHED_BANK,
+            _CACHED_ROW,
             now,
             cas_ok,
         )
         if choice is None:
             return
         command, request = choice
-        bank = self.banks[self._bank_of(request)]
-        row = self._row_of(request)
+        bank = self.banks[request.dram_bank]
+        row = request.dram_row
         if command == ACTIVATE:
             # Precharge (if a row is open) + activate; the request stays in
             # the scheduler queue until its CAS.
@@ -186,15 +235,6 @@ class DRAMChannel(Component):
             self._reads_in_flight += 1
             self.reads += 1
         self._completions.insert_at(request, done)
-
-    # ------------------------------------------------------------------
-    # helpers
-    # ------------------------------------------------------------------
-    def _bank_of(self, request: MemoryRequest) -> int:
-        return self._mapper.dram_bank(request.line)
-
-    def _row_of(self, request: MemoryRequest) -> int:
-        return self._mapper.dram_row(request.line)
 
     # ------------------------------------------------------------------
     # bookkeeping

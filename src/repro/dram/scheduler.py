@@ -77,25 +77,31 @@ class FRFCFSScheduler(DRAMScheduler):
     name = "frfcfs"
 
     def select(self, queue, banks, bank_of, row_of, now, cas_ok):
-        # Pass 1: find the oldest serviceable row hit, and note which banks
-        # still have *pending* hits on their open row — those rows must not
-        # be closed by an activate, or two conflicting requests would thrash
-        # the bank while e.g. a bus-gated CAS waits.
-        banks_with_pending_hits: set[int] = set()
-        for request in queue:
+        # One age-ordered pass classifies every request: the oldest
+        # serviceable row hit returns immediately, while banks with
+        # *pending* hits on their open row are flagged — those rows must
+        # not be closed by an activate, or two conflicting requests would
+        # thrash the bank while e.g. a bus-gated CAS waits.  Activate
+        # candidates (oldest per ready bank) are filtered against the
+        # complete pending-hit mask afterwards, which preserves the
+        # two-pass semantics at half the scan cost.
+        pending_hits = 0  # bank bitmask
+        seen_activate = 0
+        activates: list = []
+        for request in queue._items:
             bank_idx = bank_of(request)
             bank = banks[bank_idx]
             if bank.open_row == row_of(request):
-                banks_with_pending_hits.add(bank_idx)
-                if bank.ready(now) and cas_ok(request):
+                pending_hits |= 1 << bank_idx
+                if now >= bank.busy_until and cas_ok(request):
                     return (CAS, request)
-        # Pass 2: oldest activate on a free bank without pending hits.
-        for request in queue:
-            bank_idx = bank_of(request)
-            bank = banks[bank_idx]
-            if bank_idx in banks_with_pending_hits:
-                continue
-            if bank.ready(now) and bank.open_row != row_of(request):
+            else:
+                bit = 1 << bank_idx
+                if not seen_activate & bit and now >= bank.busy_until:
+                    seen_activate |= bit
+                    activates.append((bit, request))
+        for bit, request in activates:
+            if not pending_hits & bit:
                 return (ACTIVATE, request)
         return None
 

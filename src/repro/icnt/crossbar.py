@@ -25,7 +25,7 @@ from dataclasses import dataclass
 
 from repro.mem.queue import StatQueue
 from repro.mem.request import MemoryRequest
-from repro.sim.component import Component
+from repro.sim.component import WAKE_NEVER, Component
 from repro.sim.config import GPUConfig
 
 
@@ -81,6 +81,13 @@ class Crossbar(Component):
         self._inputs = [
             _InputPort(config.icnt.input_queue_pkts) for _ in sources
         ]
+        #: Source deque aliases (mutated in place by StatQueue), saving an
+        #: attribute hop in the per-cycle injection/wake scans.
+        self._src_items = [src._items for src in self._sources]
+        #: (source queue, its deque, input port) triples for injection.
+        self._pairs = list(
+            zip(self._sources, self._src_items, self._inputs)
+        )
         #: Number of input ports holding at least one packet.
         self._active_inputs = 0
         #: Output -> input currently locked to it (None = free).
@@ -100,9 +107,22 @@ class Crossbar(Component):
         if self._active_inputs:
             self._arbitrate_and_transfer(now)
 
+    def next_wake(self, now: int) -> int:
+        if self._active_inputs:
+            return now
+        for items in self._src_items:
+            if items:  # non-empty source: _inject acts this cycle
+                return now
+        return WAKE_NEVER
+
+    def fast_forward(self, cycles: int) -> None:
+        self.cycles += cycles  # the denominator of `utilization`
+
     def _inject(self, now: int) -> None:
         """Move packets from source queues into input-port FIFOs."""
-        for src, port in zip(self._sources, self._inputs):
+        for src, items, port in self._pairs:
+            if not items:
+                continue
             while port.has_room and not src.empty:
                 request = src.pop(now)
                 request.stamp(f"{self._stamp_hop}_in", now)

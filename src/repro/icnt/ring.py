@@ -29,7 +29,7 @@ from repro.errors import ConfigError
 from repro.mem.pipe import DelayPipe
 from repro.mem.queue import StatQueue
 from repro.mem.request import MemoryRequest
-from repro.sim.component import Component
+from repro.sim.component import WAKE_NEVER, Component
 from repro.sim.config import GPUConfig
 from repro.icnt.crossbar import PacketSink
 
@@ -120,6 +120,21 @@ class RingNetwork(Component):
         self.cycles += 1
         self._deliver(now)
         self._inject(now)
+
+    def next_wake(self, now: int) -> int:
+        for buffer in self._arrivals:
+            if buffer:
+                return now  # arrivals retry their sink every cycle
+        for src in self._sources:
+            if src._items:
+                return now
+        wake = self._in_flight.next_ready_time()
+        if wake is None:
+            return WAKE_NEVER
+        return wake if wake > now else now
+
+    def fast_forward(self, cycles: int) -> None:
+        self.cycles += cycles  # the denominator of `utilization`
 
     def _inject(self, now: int) -> None:
         for idx, source in enumerate(self._sources):

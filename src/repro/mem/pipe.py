@@ -53,6 +53,13 @@ class DelayPipe(Generic[T]):
         """Whether the head item is ready at cycle ``now``."""
         return bool(self._heap) and self._heap[0][0] <= now
 
+    def next_ready_time(self) -> int | None:
+        """Ready cycle of the head item, or None when the pipe is empty.
+
+        The wake hint backing the engine's event-horizon fast-forward.
+        """
+        return self._heap[0][0] if self._heap else None
+
     def peek(self) -> T:
         """The head item (raises IndexError when empty)."""
         return self._heap[0][2]

@@ -67,9 +67,14 @@ class StatQueue(Generic[T]):
             return False
         self._items.append(item)
         self.pushes += 1
-        self._occupancy_sum += len(self._items)
-        self._busy_time.update(now, True)
-        if len(self._items) >= self.capacity:
+        occupancy = len(self._items)
+        self._occupancy_sum += occupancy
+        # Edge-only tracker updates: redundant calls are no-ops inside the
+        # tracker anyway, but the call itself is hot (every queue boundary
+        # crossing in the machine lands here).
+        if occupancy == 1:
+            self._busy_time.update(now, True)
+        if occupancy >= self.capacity:
             self._full_time.update(now, True)
         return True
 
@@ -83,8 +88,10 @@ class StatQueue(Generic[T]):
             raise SimulationError(f"pop on empty queue {self.name!r}")
         item = self._items.popleft()
         self.pops += 1
-        self._full_time.update(now, False)
-        if not self._items:
+        remaining = len(self._items)
+        if remaining >= self.capacity - 1:
+            self._full_time.update(now, False)  # falling edge (was full)
+        if not remaining:
             self._busy_time.update(now, False)
         return item
 
@@ -101,8 +108,10 @@ class StatQueue(Generic[T]):
                 f"remove of absent item from queue {self.name!r}"
             ) from None
         self.pops += 1
-        self._full_time.update(now, False)
-        if not self._items:
+        remaining = len(self._items)
+        if remaining >= self.capacity - 1:
+            self._full_time.update(now, False)  # falling edge (was full)
+        if not remaining:
             self._busy_time.update(now, False)
 
     def __iter__(self):

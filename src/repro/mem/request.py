@@ -49,6 +49,11 @@ class MemoryRequest:
     timestamps: dict[str, int] = field(default_factory=dict)
     #: True once the request is travelling back towards its SM.
     is_response: bool = False
+    #: DRAM coordinates cached by the channel controller at admission
+    #: (-1 = not yet computed); the FR-FCFS scan reads them every cycle
+    #: for every queued request, far too hot for repeated address math.
+    dram_bank: int = -1
+    dram_row: int = -1
     #: Set by L2 when the request was a miss there (for statistics).
     l2_miss: bool = False
     #: True once the request has left the system for good (load handed back

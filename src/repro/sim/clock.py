@@ -34,6 +34,23 @@ class ClockDomain:
         """Whether this domain has an edge on core cycle ``now``."""
         return now % self.period == self.phase
 
+    def ticks_in(self, start: int, stop: int) -> int:
+        """Number of edges in the half-open core-cycle range [start, stop).
+
+        Used by the engine's fast-forward to tell a slow-clock component
+        how many of its own cycles a skipped window covered.
+        """
+        if stop <= start:
+            return 0
+        period = self.period
+        if period == 1:
+            return stop - start
+        # Edges are at phase, phase+period, ...; count those in range.
+        first = start + (-(start - self.phase)) % period
+        if first >= stop:
+            return 0
+        return (stop - 1 - first) // period + 1
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"ClockDomain({self.name!r}, period={self.period})"
 

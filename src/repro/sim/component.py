@@ -39,6 +39,11 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
+#: Wake hint meaning "idle until something external arrives".  Far beyond
+#: any reachable cycle count, but small enough that arithmetic on it stays
+#: in CPython's fast int range.
+WAKE_NEVER = 1 << 62
+
 
 class Component:
     """Base class for simulated hardware components."""
@@ -56,6 +61,51 @@ class Component:
     def is_idle(self) -> bool:
         """True when the component holds no in-flight work."""
         return True
+
+    # ------------------------------------------------------------------
+    # event-horizon fast-forward hooks
+    # ------------------------------------------------------------------
+    def next_wake(self, now: int) -> int | None:
+        """Earliest core cycle >= ``now`` at which stepping could matter.
+
+        The contract backing :meth:`Simulator.run`'s fast-forward:
+
+        * ``now`` — the component must step this cycle;
+        * ``> now`` — stepping before that cycle is a no-op *provided no
+          other component acts first* (the engine only skips when every
+          component agrees, so a producer that would feed this component
+          pins the horizon to ``now`` itself);
+        * :data:`WAKE_NEVER` — idle until external input arrives;
+        * ``None`` (the default) — no hint; disables fast-forward for the
+          whole simulation, keeping ad-hoc components conservative.
+
+        A hint must only depend on state that is stable while *every*
+        component sleeps; per-cycle statistics for skipped cycles are
+        replayed through :meth:`fast_forward`.
+        """
+        return None
+
+    def fast_forward(self, cycles: int) -> None:
+        """Account for ``cycles`` skipped cycles (clock-domain ticks).
+
+        Called by the engine after a fast-forward jump, once per component,
+        with the number of tick edges its clock domain would have seen.
+        Implementations replicate exactly the per-cycle counters an idle
+        :meth:`step` would have accumulated; the default assumes there are
+        none.
+        """
+
+    def set_fast_mode(self, enabled: bool) -> None:
+        """Tell the component whether fast-forward replay is permitted.
+
+        Called by :meth:`Simulator.run` before the main loop with the same
+        switch that governs global event-horizon jumps (user flag AND no
+        observers attached).  Components with *component-local* skip
+        optimisations (e.g. the SM's burst windows) gate them on this, so
+        ``fast_forward=False`` runs — the determinism reference — and
+        observed runs always execute the naive per-cycle path.  Default:
+        ignore.
+        """
 
     # ------------------------------------------------------------------
     # sanitizer introspection hooks

@@ -34,7 +34,14 @@ class Accumulator:
     maximum: float = field(default=float("-inf"))
 
     def add(self, value: float, weight: int = 1) -> None:
-        """Record ``value`` (``weight`` times, without re-scaling min/max)."""
+        """Record ``value`` (``weight`` times, without re-scaling min/max).
+
+        A zero-weight call is a no-op: it must not move min/max, or an
+        unobserved value would corrupt the extrema while leaving the mean
+        untouched.
+        """
+        if not weight:
+            return
         self.total += value * weight
         self.count += weight
         if value < self.minimum:
@@ -164,9 +171,8 @@ class Histogram:
     def add(self, value: int) -> None:
         if value < 0:
             raise UsageError(f"histogram value must be >= 0, got {value}")
-        self._buckets[value // self.bucket_width] = (
-            self._buckets.get(value // self.bucket_width, 0) + 1
-        )
+        bucket = value // self.bucket_width
+        self._buckets[bucket] = self._buckets.get(bucket, 0) + 1
         self.count += 1
         self.total += value
 

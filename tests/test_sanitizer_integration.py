@@ -43,14 +43,32 @@ class TestSuiteRunsClean:
         assert stats["requests_in_flight"] == 0
 
     def test_observationally_transparent(self, name):
-        """Attaching the sanitizer must not change simulated behaviour."""
+        """Attaching the sanitizer must not change simulated behaviour.
+
+        The plain run fast-forwards over idle windows while the sanitized
+        run (observers force the naive loop) steps every cycle, so this
+        also pins the fast-forward path to the per-cycle one.
+        """
         plain = GPU(tiny_gpu(), get_benchmark(name, SCALE))
         plain.run(max_cycles=500_000)
         checked = GPU(tiny_gpu(), get_benchmark(name, SCALE))
         Sanitizer.attach(checked, interval=1)
         checked.run(max_cycles=500_000)
+        assert checked.sim.cycles_fast_forwarded == 0
         assert checked.cycles == plain.cycles
         assert checked.instructions == plain.instructions
+
+    def test_transparent_vs_naive_loop(self, name):
+        """Sanitized run == run with fast-forward explicitly disabled:
+        the observer gate and the manual switch take the same path."""
+        naive = GPU(tiny_gpu(), get_benchmark(name, SCALE))
+        naive.sim.fast_forward_enabled = False
+        naive.run(max_cycles=500_000)
+        checked = GPU(tiny_gpu(), get_benchmark(name, SCALE))
+        Sanitizer.attach(checked, interval=1)
+        checked.run(max_cycles=500_000)
+        assert checked.cycles == naive.cycles
+        assert checked.instructions == naive.instructions
 
 
 class TestRunKernelIntegration:

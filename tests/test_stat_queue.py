@@ -78,6 +78,35 @@ class TestStatQueueInstrumentation:
         assert q.full_fraction() == 0.0
         assert q.busy_cycles() == 0
 
+    def test_never_full_queue_full_tracker_untouched(self):
+        """Lock-in: a queue that never reaches capacity must report zero
+        full time — pop/remove must not open (or close) a phantom full
+        interval via a redundant falling edge."""
+        q = StatQueue("q", 4)
+        q.push("a", 0)
+        q.push("b", 1)
+        q.pop(5)
+        q.push("c", 7)
+        q.remove("b", 9)
+        q.pop(12)
+        assert not q._full_time.active
+        assert q._full_time.total(now=12) == 0
+        q.finalize(20)
+        assert q.full_cycles() == 0
+        assert q.full_fraction() == 0.0
+
+    def test_full_interval_closes_on_first_pop_only(self):
+        """The falling edge fires exactly when the queue leaves the full
+        state; the subsequent pop (already non-full) changes nothing."""
+        q = StatQueue("q", 2)
+        q.push("a", 0)
+        q.push("b", 3)   # full from 3
+        q.pop(10)        # leaves full at 10
+        assert not q._full_time.active
+        q.pop(15)        # redundant: already non-full
+        q.finalize(15)
+        assert q.full_cycles() == 7
+
     def test_mean_occupancy_at_push(self):
         q = StatQueue("q", 8)
         q.push("a", 0)  # occupancy 1 after push

@@ -39,6 +39,45 @@ class TestAccumulator:
         assert a.minimum == 1.0
         assert a.maximum == 3.0
 
+    def test_zero_weight_add_is_a_full_no_op(self):
+        """weight=0 must not move min/max (or anything else): an unobserved
+        value would corrupt the extrema while leaving the mean untouched."""
+        acc = Accumulator("x")
+        acc.add(10.0)
+        acc.add(-500.0, weight=0)
+        acc.add(500.0, weight=0)
+        assert acc.minimum == 10.0
+        assert acc.maximum == 10.0
+        assert acc.total == 10.0
+        assert acc.count == 1
+
+    def test_zero_weight_add_on_empty_accumulator(self):
+        acc = Accumulator("x")
+        acc.add(42.0, weight=0)
+        assert acc.count == 0
+        assert acc.minimum == float("inf")
+        assert acc.maximum == float("-inf")
+
+    def test_merge_empty_into_populated_keeps_extrema(self):
+        """An empty accumulator's inf/-inf identities must not leak."""
+        a = Accumulator("a")
+        a.add(3.0)
+        a.add(7.0)
+        a.merge(Accumulator("empty"))
+        assert a.minimum == 3.0
+        assert a.maximum == 7.0
+        assert a.count == 2
+
+    def test_merge_populated_into_empty_adopts_extrema(self):
+        a = Accumulator("empty")
+        b = Accumulator("b")
+        b.add(3.0)
+        b.add(7.0)
+        a.merge(b)
+        assert a.minimum == 3.0
+        assert a.maximum == 7.0
+        assert a.mean == 5.0
+
 
 class TestRatioStat:
     def test_empty_ratio_is_zero(self):
@@ -103,6 +142,20 @@ class TestIntervalTracker:
         t.update(5, True)
         t.update(5, False)
         assert t.total() == 0
+
+    def test_falling_edge_without_open_interval_is_a_no_op(self):
+        """A redundant falling edge (condition already false) must leave
+        the tracker untouched — the contract the queues' edge-guarded
+        update calls rely on."""
+        t = IntervalTracker("t")
+        t.update(5, False)
+        t.update(9, False)
+        assert t.total() == 0
+        assert not t.active
+        t.update(10, True)
+        t.update(20, False)
+        t.update(25, False)
+        assert t.total() == 10
 
 
 class TestHistogram:
