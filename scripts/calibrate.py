@@ -10,10 +10,10 @@ print(f"{'bench':<10} {'cyc':>7} {'ipc':>6} {'m0ipc':>6} {'peak':>5} "
       f"{'respF':>5} {'missqF':>6} {'rowHR':>5} {'busU':>5} {'wall':>5}")
 for name in names:
     k = get_benchmark(name, scale)
-    t = time.time()
+    t = time.time()  # noqa: REP001 - host wall timing, not simulated time
     m = run_kernel(cfg, k)
     m0 = run_kernel(cfg.with_magic_memory(0), k)
-    w = time.time() - t
+    w = time.time() - t  # noqa: REP001 - host wall timing, not simulated time
     print(f"{name:<10} {m.cycles:>7} {m.ipc:>6.2f} {m0.ipc:>6.2f} "
           f"{m0.ipc/m.ipc:>5.1f} {m.l1_hit_rate:>5.2f} {m.l2_hit_rate:>5.2f} "
           f"{m.l1_avg_miss_latency:>5.0f} {m.l2_accessq.full_fraction:>5.2f} "

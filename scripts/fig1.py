@@ -5,7 +5,7 @@ from repro.core.report import render_figure1
 
 scale = float(sys.argv[1]) if len(sys.argv) > 1 else 1.0
 lats = [int(x) for x in sys.argv[2:]] or list(range(0, 801, 100))
-t = time.time()
+t = time.time()  # noqa: REP001 - host wall timing, not simulated time
 profiles = []
 for name in PAPER_SUITE:
     p = profile_latency_tolerance(name, small_gpu(), latencies=lats,
@@ -15,4 +15,4 @@ for name in PAPER_SUITE:
           f"peak {p.peak_normalized_ipc:4.1f} plateau {p.plateau_latency():>4} "
           f"intercept {p.intercept_latency() if p.intercept_latency() is not None else '>800'}")
 print(render_figure1(profiles))
-print("wall", round(time.time()-t,1))
+print("wall", round(time.time()-t,1))  # noqa: REP001 - host wall timing, not simulated time

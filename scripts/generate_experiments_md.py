@@ -37,7 +37,7 @@ OUT = sys.argv[2] if len(sys.argv) > 2 else "EXPERIMENTS.md"
 
 def main() -> None:
     config = small_gpu()
-    t0 = time.time()
+    t0 = time.time()  # noqa: REP001 - host wall timing, not simulated time
 
     print("running Figure 1 sweep ...", flush=True)
     profiles = [
@@ -234,12 +234,12 @@ def main() -> None:
         w("Run `pytest benchmarks/ --benchmark-only` first to regenerate "
           "the ablation tables into `benchmarks/results/`.")
     w("")
-    w(f"_Generated in {time.time() - t0:.0f}s by "
+    w(f"_Generated in {time.time() - t0:.0f}s by "  # noqa: REP001 - host wall timing, not simulated time
       "`python scripts/generate_experiments_md.py`._")
 
     with open(OUT, "w") as f:
         f.write("\n".join(lines) + "\n")
-    print(f"wrote {OUT} ({time.time() - t0:.0f}s)")
+    print(f"wrote {OUT} ({time.time() - t0:.0f}s)")  # noqa: REP001 - host wall timing, not simulated time
 
 
 if __name__ == "__main__":

@@ -1,13 +1,16 @@
 #!/usr/bin/env python
-"""Run the repo's custom lint pass (see repro.analysis.lint for the rules).
+"""Run the repo's lint passes (see repro.analysis.lint / .static for rules).
 
 Usage::
 
-    python scripts/lint.py src/            # what CI runs
-    python scripts/lint.py src/repro/cache # any file or directory set
+    python scripts/lint.py src/ tests/ scripts/   # classic REP001-005
+    python scripts/lint.py --static src/          # whole-program verifier
+    python scripts/lint.py --static src/ --format sarif --output out.sarif
 
-Exits 0 when clean, 1 when violations were found.
+Exits 0 when clean (baselined findings excluded), 1 when violations were
+found.
 """
+import argparse
 import sys
 from pathlib import Path
 
@@ -16,7 +19,34 @@ _SRC = Path(__file__).resolve().parent.parent / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
-from repro.analysis.lint import run_lint  # noqa: E402
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("paths", nargs="*", default=["src"])
+    parser.add_argument("--static", action="store_true")
+    parser.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text")
+    parser.add_argument("--output", default=None)
+    parser.add_argument("--baseline", default=None)
+    parser.add_argument("--no-baseline", action="store_true")
+    parser.add_argument("--update-baseline", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.static or args.update_baseline:
+        from repro.analysis.static import run_static
+
+        return run_static(
+            args.paths,
+            fmt=args.format,
+            output=args.output,
+            baseline_path=args.baseline,
+            update_baseline=args.update_baseline,
+            no_baseline=args.no_baseline,
+        )
+    from repro.analysis.lint import run_lint
+
+    return run_lint(args.paths)
+
 
 if __name__ == "__main__":
-    sys.exit(run_lint(sys.argv[1:]))
+    sys.exit(main())

@@ -1,0 +1,33 @@
+#!/usr/bin/env python
+"""Run mypy --strict over the typed packages (sim/ and analysis/).
+
+The configuration lives in pyproject.toml ([tool.mypy]); this wrapper
+exists so the command is one word locally and in CI, and so environments
+without mypy (the simulator itself has zero third-party dependencies)
+skip cleanly instead of erroring.
+"""
+
+import importlib.util
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def main(argv: list[str] | None = None) -> int:
+    if importlib.util.find_spec("mypy") is None:
+        print(
+            "typecheck: mypy is not installed; skipping "
+            "(pip install mypy to run locally — CI enforces this)",
+            file=sys.stderr,
+        )
+        return 0
+    cmd = [sys.executable, "-m", "mypy", "--config-file", "pyproject.toml"]
+    cmd.extend(argv if argv is not None else sys.argv[1:])
+    proc = subprocess.run(cmd, cwd=REPO_ROOT)
+    return proc.returncode
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,9 +13,24 @@ rather than trusting any single implementation:
   RNG or wall-clock reads, no bare ``assert`` for protocol violations, all
   exceptions under :class:`~repro.errors.ReproError`, hot-path dataclasses
   slotted, no frozen-config mutation).
+* The whole-program static verifier (``repro.analysis.static``) — extends
+  the lint into cross-file passes: Component wake-hint/hook contracts
+  (REP006-008), determinism hazards (REP009-011) and architecture
+  layering over the import graph (REP012), with inline suppressions, a
+  checked-in baseline and JSON/SARIF output.  Run as
+  ``repro lint --static``.
 """
 
 from repro.analysis.lint import LintViolation, lint_paths, lint_source
 from repro.analysis.sanitizer import Sanitizer
+from repro.analysis.static import Finding, StaticReport, analyze_paths
 
-__all__ = ["LintViolation", "Sanitizer", "lint_paths", "lint_source"]
+__all__ = [
+    "Finding",
+    "LintViolation",
+    "Sanitizer",
+    "StaticReport",
+    "analyze_paths",
+    "lint_paths",
+    "lint_source",
+]

@@ -26,8 +26,10 @@ Checked contracts
 
 from __future__ import annotations
 
+from typing import Any
 
-def queue_bound_violations(queues) -> list[str]:
+
+def queue_bound_violations(queues: Any) -> list[str]:
     """Capacity and conservation-of-occupancy checks for bounded queues."""
     problems: list[str] = []
     for queue in queues:
@@ -46,7 +48,7 @@ def queue_bound_violations(queues) -> list[str]:
     return problems
 
 
-def timestamp_violations(request, now: int) -> list[str]:
+def timestamp_violations(request: Any, now: int) -> list[str]:
     """Per-hop timestamp sanity for one request.
 
     Timestamps are stored in stamp order (dict insertion order); a request
@@ -71,7 +73,7 @@ def timestamp_violations(request, now: int) -> list[str]:
     return problems
 
 
-def mshr_violations(table) -> list[str]:
+def mshr_violations(table: Any) -> list[str]:
     """Structural and leak checks for one MSHR table."""
     problems: list[str] = []
     live = len(table)

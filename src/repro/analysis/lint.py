@@ -34,15 +34,23 @@ REP005    no attribute assignment through a config object: the
 ========  ==============================================================
 
 A violating line can opt out with a ``# noqa: REPxxx`` comment (bare
-``# noqa`` suppresses every rule on the line).  The
+``# noqa`` suppresses every rule on the line; the static verifier's
+``# repro: noqa[REPxxx]`` spelling is honoured too).  The
 :func:`lint_paths` entry point is wired to ``scripts/lint.py`` and the
-``repro lint`` CLI subcommand; CI runs it over ``src/`` on every push.
+``repro lint`` CLI subcommand; CI runs it over ``src/``, ``tests/`` and
+``scripts/`` on every push.
+
+Path profiles: files under a ``tests`` directory are exempt from REP002 —
+``assert`` is pytest's assertion mechanism (and pytest rewrites it, so
+``python -O`` stripping is not a concern there); every other rule still
+applies to test code.
 """
 
 from __future__ import annotations
 
 import ast
 import builtins
+from collections.abc import Iterator
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -116,10 +124,17 @@ class LintViolation:
 
 
 class _Visitor(ast.NodeVisitor):
-    def __init__(self, path: str, source_lines: list[str], hot: bool) -> None:
+    def __init__(
+        self,
+        path: str,
+        source_lines: list[str],
+        hot: bool,
+        exempt: frozenset[str] = frozenset(),
+    ) -> None:
         self.path = path
         self.lines = source_lines
         self.hot = hot
+        self.exempt = exempt
         self.violations: list[LintViolation] = []
         #: Names bound by ``from random import X``.
         self.random_names: set[str] = set()
@@ -134,11 +149,19 @@ class _Visitor(ast.NodeVisitor):
         if "noqa" not in text:
             return False
         _, _, tail = text.partition("noqa")
+        # Accept both spellings: ``# noqa: REP001`` and the static
+        # verifier's ``# repro: noqa[REP001,REP009]``.
         tail = tail.lstrip(": ").strip()
-        return not tail or code in tail.replace(",", " ").split()
+        codes = [
+            token
+            for token in tail.replace(",", " ").replace("[", " ")
+            .replace("]", " ").split()
+            if token
+        ]
+        return not codes or code in codes
 
     def _flag(self, node: ast.AST, code: str, message: str) -> None:
-        if self._suppressed(node.lineno, code):
+        if code in self.exempt or self._suppressed(node.lineno, code):
             return
         self.violations.append(
             LintViolation(self.path, node.lineno, node.col_offset, code, message)
@@ -229,7 +252,7 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
     # -- REP004: hot-path dataclass slots ------------------------------
-    def _dataclass_decorator(self, node: ast.ClassDef):
+    def _dataclass_decorator(self, node: ast.ClassDef) -> ast.expr | None:
         for decorator in node.decorator_list:
             target = decorator.func if isinstance(decorator, ast.Call) else decorator
             dotted = self._dotted(target)
@@ -286,12 +309,23 @@ class _Visitor(ast.NodeVisitor):
         self.generic_visit(node)
 
 
+def exempt_rules_for(path: str) -> frozenset[str]:
+    """Rules that do not apply to ``path`` (path-profile exemptions).
+
+    Test code gets a pass on REP002: ``assert`` is pytest's assertion
+    idiom and pytest's rewriting keeps it active regardless of ``-O``.
+    """
+    if "tests" in Path(path).parts:
+        return frozenset(("REP002",))
+    return frozenset()
+
+
 def lint_source(
     source: str, path: str = "<string>", *, hot: bool | None = None
 ) -> list[LintViolation]:
     """Lint one module's source text; returns violations in line order."""
+    parts = Path(path).parts
     if hot is None:
-        parts = Path(path).parts
         hot = any(package in parts for package in HOT_PACKAGES) and (
             "repro" in parts
         )
@@ -299,7 +333,7 @@ def lint_source(
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
         raise UsageError(f"{path}: cannot lint, syntax error: {exc}") from exc
-    visitor = _Visitor(path, source.splitlines(), hot)
+    visitor = _Visitor(path, source.splitlines(), hot, exempt_rules_for(path))
     visitor.visit(tree)
     if hot:
         for node in ast.walk(tree):
@@ -308,7 +342,7 @@ def lint_source(
     return sorted(visitor.violations, key=lambda v: (v.line, v.col, v.code))
 
 
-def _iter_python_files(paths: list[str]):
+def _iter_python_files(paths: list[str]) -> Iterator[Path]:
     for raw in paths:
         path = Path(raw)
         if path.is_dir():

@@ -34,6 +34,8 @@ it never changes simulated behaviour, only adds checking cost.
 
 from __future__ import annotations
 
+from typing import Any
+
 from repro.analysis.invariants import (
     mshr_violations,
     queue_bound_violations,
@@ -69,8 +71,8 @@ class Sanitizer:
 
     def __init__(
         self,
-        sim,
-        factory=None,
+        sim: Any,
+        factory: Any = None,
         *,
         interval: int = 1,
         deadlock_cycles: int = 50_000,
@@ -93,7 +95,7 @@ class Sanitizer:
         self.created = 0
         self.retired = 0
         self.checks_run = 0
-        self._progress_sig: tuple | None = None
+        self._progress_sig: tuple[int, int, int] | None = None
         self._progress_cycle = 0
         if factory is not None:
             factory.listener = self.on_create
@@ -102,7 +104,9 @@ class Sanitizer:
     # construction helpers
     # ------------------------------------------------------------------
     @classmethod
-    def attach(cls, gpu, *, interval: int = 1, deadlock_cycles: int = 50_000):
+    def attach(
+        cls, gpu: Any, *, interval: int = 1, deadlock_cycles: int = 50_000
+    ) -> "Sanitizer":
         """Attach a new sanitizer to a built (not yet run) GPU model."""
         sanitizer = cls(
             gpu.sim,
@@ -116,7 +120,7 @@ class Sanitizer:
     # ------------------------------------------------------------------
     # observer protocol
     # ------------------------------------------------------------------
-    def on_create(self, request) -> None:
+    def on_create(self, request: Any) -> None:
         """Factory listener: register a request for conservation tracking."""
         if request.rid in self._live:
             self._fail(
@@ -219,10 +223,12 @@ class Sanitizer:
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------
-    def _scan(self):
+    def _scan(
+        self,
+    ) -> tuple[list[Any], list[Any], list[tuple[str, object]]]:
         """Walk the component list through the ``inspect_*`` hooks."""
-        queues = []
-        mshrs = []
+        queues: list[Any] = []
+        mshrs: list[Any] = []
         transit: list[tuple[str, object]] = []
         for component in self._sim.components:
             for queue in component.inspect_queues():
@@ -234,7 +240,12 @@ class Sanitizer:
                 transit.append((component.name, request))
         return queues, mshrs, transit
 
-    def _check_progress(self, now: int, queues, transit) -> None:
+    def _check_progress(
+        self,
+        now: int,
+        queues: list[Any],
+        transit: list[tuple[str, object]],
+    ) -> None:
         busy = bool(self._live) or bool(transit)
         if not busy:
             self._progress_sig = None
@@ -265,8 +276,8 @@ class Sanitizer:
         *,
         invariant: str,
         cycle: int | None = None,
-        requests: tuple = (),
-        queues=(),
+        requests: tuple[Any, ...] = (),
+        queues: Any = (),
     ) -> None:
         raise SanitizerError(
             message,

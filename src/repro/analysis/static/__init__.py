@@ -1,0 +1,35 @@
+"""Whole-program static verifier (REP001-REP012).
+
+Extends the classic per-file AST lint into a multi-pass verifier with
+cross-file resolution, inline suppressions, a checked-in baseline and
+JSON/SARIF reporting.  Pass families:
+
+* **Component contracts** (REP006-008,
+  :mod:`repro.analysis.static.contracts`) — every
+  :class:`~repro.sim.component.Component` subclass honors the wake-hint
+  protocol the engine's fast-forward depends on.
+* **Determinism** (REP009-011,
+  :mod:`repro.analysis.static.determinism`) — no unordered iteration,
+  ``id()`` keys or order-sensitive float reductions feeding metrics or
+  dispatch.
+* **Layering** (REP012, :mod:`repro.analysis.static.layering`) — the
+  module import graph respects the architecture tower and is acyclic.
+
+Entry points: ``repro lint --static`` and ``scripts/lint.py --static``;
+programmatic use via :func:`analyze_paths` / :func:`run_static`.
+"""
+
+from repro.analysis.static.baseline import Baseline, BaselineEntry
+from repro.analysis.static.finding import RULES, Finding, Rule
+from repro.analysis.static.runner import StaticReport, analyze_paths, run_static
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "RULES",
+    "Rule",
+    "StaticReport",
+    "analyze_paths",
+    "run_static",
+]

@@ -1,0 +1,157 @@
+"""The checked-in findings baseline: incremental adoption without decay.
+
+A baseline entry acknowledges one existing finding by fingerprint so the
+verifier can gate *new* violations immediately while the acknowledged
+ones are fixed (or kept, with a recorded justification).  Mechanics:
+
+* a finding whose fingerprint appears in the baseline is demoted from
+  the failing set and reported only in the summary count;
+* a baseline entry matching *no* current finding is **stale** — the
+  violation was fixed or the code deleted — and is reported so the file
+  shrinks monotonically; ``--update-baseline`` rewrites the file from
+  the current findings, dropping stale entries and preserving the
+  justifications of the ones that remain.
+
+Fingerprints hash rule id + root-independent path + flagged line text
+(see :mod:`repro.analysis.static.finding`), so line-number drift does not
+invalidate entries but any edit to the flagged line itself does — a
+changed line is a changed violation and must be re-acknowledged.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.static.finding import Finding
+from repro.errors import UsageError
+
+#: Default baseline location, resolved against the working directory.
+DEFAULT_BASELINE_NAME = ".repro-static-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One acknowledged finding."""
+
+    fingerprint: str
+    rule: str
+    path: str
+    message: str
+    justification: str = ""
+
+
+@dataclass(slots=True)
+class Baseline:
+    """The parsed baseline file."""
+
+    entries: dict[str, BaselineEntry]
+    path: Path | None = None
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls(entries={})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        try:
+            raw = json.loads(path.read_text(encoding="utf-8"))
+        except json.JSONDecodeError as exc:
+            raise UsageError(
+                f"{path}: baseline is not valid JSON: {exc}"
+            ) from exc
+        if not isinstance(raw, dict) or raw.get("version") != _FORMAT_VERSION:
+            raise UsageError(
+                f"{path}: unsupported baseline format "
+                f"(want version {_FORMAT_VERSION})"
+            )
+        entries: dict[str, BaselineEntry] = {}
+        for item in raw.get("entries", []):
+            entry = BaselineEntry(
+                fingerprint=str(item["fingerprint"]),
+                rule=str(item.get("rule", "")),
+                path=str(item.get("path", "")),
+                message=str(item.get("message", "")),
+                justification=str(item.get("justification", "")),
+            )
+            entries[entry.fingerprint] = entry
+        return cls(entries=entries, path=path)
+
+    def split(
+        self, findings: list[Finding]
+    ) -> tuple[list[Finding], list[Finding], list[BaselineEntry]]:
+        """Partition ``findings`` against the baseline.
+
+        Returns ``(active, acknowledged, stale)``: findings not in the
+        baseline, findings silenced by it, and entries matching nothing.
+        """
+        active: list[Finding] = []
+        acknowledged: list[Finding] = []
+        matched: set[str] = set()
+        for finding in findings:
+            fingerprint = finding.fingerprint
+            if fingerprint in self.entries:
+                matched.add(fingerprint)
+                acknowledged.append(finding)
+            else:
+                active.append(finding)
+        stale = [
+            entry
+            for fingerprint, entry in sorted(self.entries.items())
+            if fingerprint not in matched
+        ]
+        return active, acknowledged, stale
+
+    def save(self, path: Path, findings: list[Finding]) -> int:
+        """Rewrite the baseline from ``findings``; returns the entry count.
+
+        Justifications of entries that still match are preserved; brand
+        new entries get a placeholder demanding a written rationale.
+        """
+        entries = []
+        seen: set[str] = set()
+        for finding in sorted(
+            findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        ):
+            fingerprint = finding.fingerprint
+            if fingerprint in seen:
+                continue
+            seen.add(fingerprint)
+            previous = self.entries.get(fingerprint)
+            entries.append({
+                "fingerprint": fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "message": finding.message,
+                "justification": (
+                    previous.justification
+                    if previous is not None and previous.justification
+                    else "TODO: justify or fix"
+                ),
+            })
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        path.write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        return len(entries)
+
+
+def load_default(explicit: str | None) -> Baseline:
+    """Load the baseline for a run.
+
+    ``explicit`` names a file that must exist; otherwise the default
+    baseline file is used when present and an empty baseline when not.
+    """
+    if explicit is not None:
+        path = Path(explicit)
+        if not path.is_file():
+            raise UsageError(f"{explicit}: baseline file not found")
+        return Baseline.load(path)
+    default = Path(DEFAULT_BASELINE_NAME)
+    if default.is_file():
+        return Baseline.load(default)
+    return Baseline.empty()

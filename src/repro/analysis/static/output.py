@@ -1,0 +1,147 @@
+"""Report rendering for the static verifier: text, JSON and SARIF 2.1.0.
+
+The SARIF output is the CI integration surface: GitHub code scanning,
+VS Code SARIF viewers and most review tooling ingest it directly.  The
+emitter keeps to the stable core of the 2.1.0 schema — tool driver with a
+rule table, one ``result`` per finding with a physical location and a
+``partialFingerprints`` entry carrying the same content-addressed
+fingerprint the baseline uses, so external tooling and the in-repo
+baseline agree on finding identity.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.static.baseline import BaselineEntry
+from repro.analysis.static.finding import RULES, Finding
+
+_SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_TOOL_NAME = "repro-static"
+_TOOL_URI = "https://github.com/repro/repro"  # project docs anchor
+_FINGERPRINT_KEY = "reproFingerprint/v1"
+
+
+def render_text(
+    active: list[Finding],
+    acknowledged: list[Finding],
+    stale: list[BaselineEntry],
+) -> str:
+    """Human-readable report: one line per active finding, then a summary."""
+    lines = [finding.render() for finding in active]
+    for entry in stale:
+        lines.append(
+            f"stale baseline entry {entry.fingerprint}: {entry.rule} "
+            f"{entry.path} no longer matches any finding — remove it "
+            "(or run --update-baseline)"
+        )
+    summary: list[str] = []
+    if active:
+        summary.append(f"{len(active)} violation(s)")
+    if acknowledged:
+        summary.append(f"{len(acknowledged)} baselined")
+    if stale:
+        summary.append(f"{len(stale)} stale baseline entr(y/ies)")
+    if summary:
+        lines.append(", ".join(summary))
+    return "\n".join(lines)
+
+
+def _finding_to_dict(finding: Finding) -> dict[str, Any]:
+    return {
+        "rule": finding.rule,
+        "severity": finding.severity,
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "message": finding.message,
+        "fingerprint": finding.fingerprint,
+    }
+
+
+def render_json(
+    active: list[Finding],
+    acknowledged: list[Finding],
+    stale: list[BaselineEntry],
+) -> str:
+    """Machine-readable report with a stable top-level schema."""
+    payload: dict[str, Any] = {
+        "version": 1,
+        "tool": _TOOL_NAME,
+        "findings": [_finding_to_dict(f) for f in active],
+        "baselined": [_finding_to_dict(f) for f in acknowledged],
+        "stale_baseline": [
+            {
+                "fingerprint": entry.fingerprint,
+                "rule": entry.rule,
+                "path": entry.path,
+                "justification": entry.justification,
+            }
+            for entry in stale
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def render_sarif(
+    active: list[Finding],
+    acknowledged: list[Finding],
+    stale: list[BaselineEntry],
+) -> str:
+    """SARIF 2.1.0 log; baselined findings ride along as suppressed results."""
+    rules = [
+        {
+            "id": rule.code,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": rule.severity},
+        }
+        for rule in sorted(RULES.values(), key=lambda r: r.code)
+    ]
+
+    def result(finding: Finding, suppressed: bool) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": finding.path.replace("\\", "/"),
+                        },
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": max(finding.col, 0) + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {_FINGERPRINT_KEY: finding.fingerprint},
+        }
+        if suppressed:
+            entry["suppressions"] = [
+                {"kind": "external", "justification": "baselined"}
+            ]
+        return entry
+
+    log: dict[str, Any] = {
+        "$schema": _SARIF_SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": _TOOL_NAME,
+                        "informationUri": _TOOL_URI,
+                        "rules": rules,
+                    }
+                },
+                "results": [
+                    *(result(f, suppressed=False) for f in active),
+                    *(result(f, suppressed=True) for f in acknowledged),
+                ],
+            }
+        ],
+    }
+    return json.dumps(log, indent=2) + "\n"

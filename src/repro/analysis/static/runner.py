@@ -1,0 +1,177 @@
+"""Orchestration for the whole-program static verifier.
+
+One invocation parses every target file once, then runs:
+
+1. the classic per-file AST rules (REP001-005, via
+   :func:`repro.analysis.lint.lint_source`) — wrapped into
+   :class:`~repro.analysis.static.finding.Finding` objects so one
+   baseline, one SARIF log and one exit code cover the whole surface;
+2. the component-contract checker (REP006-008) over every Component
+   subclass resolved through the import graph;
+3. the determinism pass (REP009-011) per module;
+4. the architecture-layering pass (REP012) over the module graph.
+
+Inline suppressions (``# repro: noqa[REPxxx]``) are honoured for the
+whole-program rules; the classic rules keep applying their own ``noqa``
+handling inside ``lint_source`` (which also understands the bracketed
+spelling).  Findings surviving suppression are then partitioned against
+the baseline; only *active* findings fail the run.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.analysis.lint import lint_source
+from repro.analysis.static.baseline import (
+    Baseline,
+    BaselineEntry,
+    load_default,
+)
+from repro.analysis.static.contracts import check_contracts
+from repro.analysis.static.determinism import check_determinism
+from repro.analysis.static.finding import Finding
+from repro.analysis.static.layering import check_layering
+from repro.analysis.static.modgraph import ModuleInfo, build_modules
+from repro.analysis.static.output import render_json, render_sarif, render_text
+from repro.analysis.static.suppress import is_suppressed
+from repro.errors import UsageError
+
+
+@dataclass(slots=True)
+class StaticReport:
+    """Everything one verifier run produced."""
+
+    active: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    stale: list[BaselineEntry] = field(default_factory=list)
+    suppressed: int = 0
+    files_scanned: int = 0
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.active else 0
+
+    def render(self, fmt: str = "text") -> str:
+        if fmt == "json":
+            return render_json(self.active, self.baselined, self.stale)
+        if fmt == "sarif":
+            return render_sarif(self.active, self.baselined, self.stale)
+        return render_text(self.active, self.baselined, self.stale)
+
+
+def _collect_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+                and not any(part.endswith(".egg-info") for part in p.parts)
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        else:
+            raise UsageError(f"{raw}: not a python file or directory")
+    return files
+
+
+def _classic_findings(module: ModuleInfo) -> list[Finding]:
+    source = "\n".join(module.source_lines)
+    return [
+        Finding(
+            rule=violation.code,
+            path=module.path,
+            line=violation.line,
+            col=violation.col,
+            message=violation.message,
+            snippet=(
+                module.source_lines[violation.line - 1].strip()
+                if 1 <= violation.line <= len(module.source_lines)
+                else ""
+            ),
+        )
+        for violation in lint_source(source, module.path)
+    ]
+
+
+def analyze_paths(
+    paths: list[str], *, baseline: Baseline | None = None
+) -> StaticReport:
+    """Run every pass over ``paths`` and partition against ``baseline``."""
+    modules = build_modules(_collect_files(paths))
+    raw: list[Finding] = []
+    for module in modules:
+        raw.extend(_classic_findings(module))
+        raw.extend(check_determinism(module))
+    raw.extend(check_contracts(modules))
+    raw.extend(check_layering(modules))
+
+    # Inline suppressions for the whole-program rules (classic rules are
+    # already filtered inside lint_source).
+    lines_by_path = {m.path: m.source_lines for m in modules}
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        source_lines = lines_by_path.get(finding.path, [])
+        if finding.rule > "REP005" and is_suppressed(
+            source_lines, finding.line, finding.rule
+        ):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    kept.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+
+    report = StaticReport(suppressed=suppressed, files_scanned=len(modules))
+    if baseline is None:
+        baseline = Baseline.empty()
+    report.active, report.baselined, report.stale = baseline.split(kept)
+    return report
+
+
+def run_static(
+    paths: list[str],
+    *,
+    fmt: str = "text",
+    output: str | None = None,
+    baseline_path: str | None = None,
+    update_baseline: bool = False,
+    no_baseline: bool = False,
+) -> int:
+    """CLI body for ``repro lint --static``; returns the process exit code."""
+    if not paths:
+        paths = ["src"]
+    baseline = Baseline.empty() if no_baseline else load_default(baseline_path)
+    report = analyze_paths(paths, baseline=baseline)
+
+    if update_baseline:
+        target = baseline.path or Path(
+            baseline_path or ".repro-static-baseline.json"
+        )
+        count = baseline.save(
+            target, report.active + report.baselined
+        )
+        print(f"baseline: wrote {count} entr(y/ies) to {target}")
+        return 0
+
+    rendered = report.render(fmt)
+    if output is not None:
+        Path(output).write_text(rendered, encoding="utf-8")
+        summary = render_text(report.active, report.baselined, report.stale)
+        if summary:
+            print(summary)
+        print(f"wrote {fmt} report to {output}")
+    elif rendered:
+        print(rendered)
+    if report.exit_code == 0 and fmt == "text" and output is None:
+        print(
+            f"static verifier: {report.files_scanned} file(s) clean "
+            f"({len(report.baselined)} baselined, "
+            f"{report.suppressed} suppressed inline)",
+            file=sys.stderr,
+        )
+    return report.exit_code

@@ -1,0 +1,65 @@
+"""Inline suppression comments for the static verifier.
+
+A finding is silenced by a comment on its physical line, in either of two
+spellings:
+
+* ``# repro: noqa[REP006]`` — the verifier's own syntax; several codes
+  separated by commas (``# repro: noqa[REP006,REP009]``), or bare
+  ``# repro: noqa`` to silence every rule on the line.
+* ``# noqa: REP006`` — the classic AST-lint syntax, honoured here too so
+  one spelling works across both halves of the tooling.
+
+Suppressions are parsed from raw source lines (not the AST) so they work
+on any line a pass can flag, including import statements and decorators.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Sentinel meaning "every rule suppressed on this line".
+ALL_CODES = "*"
+
+_REPRO_NOQA = re.compile(
+    r"#\s*repro:\s*noqa(?:\s*\[(?P<codes>[A-Z0-9,\s]*)\])?", re.IGNORECASE
+)
+_CLASSIC_NOQA = re.compile(
+    r"#\s*noqa(?::?\s*(?P<codes>[A-Z0-9,\[\]\s]+))?", re.IGNORECASE
+)
+
+
+def codes_suppressed_on(line_text: str) -> frozenset[str]:
+    """Rule codes suppressed by comments on one physical source line.
+
+    Returns the matched codes upper-cased; a bare suppression (no code
+    list) yields ``{ALL_CODES}``.
+    """
+    suppressed: set[str] = set()
+    match = _REPRO_NOQA.search(line_text)
+    if match is None:
+        match = _CLASSIC_NOQA.search(line_text)
+    if match is None:
+        return frozenset()
+    codes = match.group("codes")
+    if codes is None:
+        return frozenset((ALL_CODES,))
+    tokens = [
+        token
+        for token in re.split(r"[,\s\[\]]+", codes.upper())
+        if token
+    ]
+    if not tokens:
+        return frozenset((ALL_CODES,))
+    suppressed.update(tokens)
+    return frozenset(suppressed)
+
+
+def is_suppressed(source_lines: list[str], line: int, code: str) -> bool:
+    """Whether rule ``code`` is silenced on 1-based ``line``."""
+    if not 1 <= line <= len(source_lines):
+        return False
+    text = source_lines[line - 1]
+    if "noqa" not in text and "NOQA" not in text:
+        return False
+    codes = codes_suppressed_on(text)
+    return ALL_CODES in codes or code in codes

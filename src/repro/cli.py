@@ -60,8 +60,8 @@ from repro.core.latency_profile import profile_latency_tolerance
 from repro.core.metrics import run_kernel
 from repro.core.replication import replicate
 from repro.core.validation import validate_reproduction
+from repro.core.export import metrics_to_csv, metrics_to_json, write_text
 from repro.errors import ReproError
-from repro.utils.export import metrics_to_csv, metrics_to_json, write_text
 from repro.core.report import (
     render_congestion,
     render_figure1,
@@ -245,6 +245,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    if args.static or args.update_baseline:
+        from repro.analysis.static import run_static
+
+        return run_static(
+            args.paths,
+            fmt=args.format,
+            output=args.output,
+            baseline_path=args.baseline,
+            update_baseline=args.update_baseline,
+            no_baseline=args.no_baseline,
+        )
     from repro.analysis.lint import run_lint
 
     return run_lint(args.paths)
@@ -416,10 +427,36 @@ def build_parser() -> argparse.ArgumentParser:
     trace.set_defaults(func=_cmd_trace)
 
     lint = sub.add_parser(
-        "lint", help="run the repo's custom static lint rules (REP001-005)")
+        "lint",
+        help="run the repo's custom lint rules (REP001-005), or the "
+             "whole-program static verifier with --static (REP001-012)")
     lint.add_argument(
         "paths", nargs="*", default=["src"],
         help="files or directories to lint (default: src)")
+    lint.add_argument(
+        "--static", action="store_true",
+        help="run the whole-program verifier: component contracts "
+             "(REP006-008), determinism (REP009-011) and layering "
+             "(REP012) on top of the classic rules, with baseline and "
+             "SARIF support")
+    lint.add_argument(
+        "--format", choices=["text", "json", "sarif"], default="text",
+        help="report format for --static (default: text)")
+    lint.add_argument(
+        "--output", default=None, metavar="PATH",
+        help="write the --static report to a file instead of stdout")
+    lint.add_argument(
+        "--baseline", default=None, metavar="PATH",
+        help="baseline file for --static (default: "
+             ".repro-static-baseline.json in the working directory, "
+             "if present)")
+    lint.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file: report every finding")
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline from the current findings (preserving "
+             "justifications of surviving entries) and exit 0")
     lint.set_defaults(func=_cmd_lint)
 
     cong = sub.add_parser(

@@ -209,6 +209,7 @@ class SM(Component):
                 self._skip_until = until
 
     def set_fast_mode(self, enabled: bool) -> None:
+        super().set_fast_mode(enabled)
         self._fast_mode = enabled
 
     def next_wake(self, now: int) -> int:

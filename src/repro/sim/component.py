@@ -38,6 +38,7 @@ and free when no probe is attached.
 from __future__ import annotations
 
 from collections.abc import Iterable
+from typing import Any
 
 #: Wake hint meaning "idle until something external arrives".  Far beyond
 #: any reachable cycle count, but small enough that arithmetic on it stays
@@ -110,15 +111,15 @@ class Component:
     # ------------------------------------------------------------------
     # sanitizer introspection hooks
     # ------------------------------------------------------------------
-    def inspect_queues(self) -> Iterable:
+    def inspect_queues(self) -> Iterable[Any]:
         """Bounded :class:`~repro.mem.queue.StatQueue` instances owned here."""
         return ()
 
-    def inspect_mshrs(self) -> Iterable:
+    def inspect_mshrs(self) -> Iterable[Any]:
         """:class:`~repro.cache.mshr.MSHRTable` instances owned here."""
         return ()
 
-    def inspect_inflight(self) -> Iterable:
+    def inspect_inflight(self) -> Iterable[Any]:
         """Requests held in transit buffers other than the above queues."""
         return ()
 

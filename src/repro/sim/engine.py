@@ -17,10 +17,19 @@ from __future__ import annotations
 
 import math
 from collections.abc import Callable
+from typing import Protocol
 
 from repro.errors import CycleLimitExceeded, SimulationError
 from repro.sim.clock import CORE_CLOCK, ClockDomain
 from repro.sim.component import WAKE_NEVER, Component
+
+
+class SimObserver(Protocol):
+    """Structural type for :meth:`Simulator.attach_observer` targets."""
+
+    def on_cycle(self, cycle: int) -> None: ...
+
+    def on_finalize(self, cycle: int) -> None: ...
 
 #: Largest clock-period hyperperiod for which per-residue dispatch lists
 #: are precomputed; beyond this the engine falls back to per-entry scans.
@@ -43,12 +52,12 @@ class Simulator:
         #: residue -> bound step methods ticking on that residue of the
         #: clock hyperperiod (preserving registration order); None until
         #: built, or permanently None when the hyperperiod is impractical.
-        self._dispatch: list[list] | None = None
+        self._dispatch: list[list[Callable[[int], None]]] | None = None
         self._dispatch_mod: int = 0
         #: With every component on the core clock (hyperperiod 1) this is
         #: the single residue list, saving the modulo+index per cycle.
-        self._dispatch_flat: list | None = None
-        self._wake_fns: list | None = None
+        self._dispatch_flat: list[Callable[[int], None]] | None = None
+        self._wake_fns: list[Callable[[int], int | None]] | None = None
         #: Index of the component that vetoed the last fast-forward
         #: attempt; probed first, since a busy component usually stays
         #: busy, making the common no-jump case a single wake call.
@@ -66,7 +75,7 @@ class Simulator:
         self.cycles_fast_forwarded: int = 0
         #: Opt-in observers (e.g. the repro.analysis sanitizer); empty in
         #: normal runs so the per-cycle cost is one truthiness test.
-        self._observers: list = []
+        self._observers: list[SimObserver] = []
 
     # ------------------------------------------------------------------
     # construction
@@ -87,7 +96,7 @@ class Simulator:
         """Registered components in step order."""
         return [c for c, _ in self._entries]
 
-    def attach_observer(self, observer) -> None:
+    def attach_observer(self, observer: SimObserver) -> None:
         """Register an observer called at cycle and finalize boundaries.
 
         An observer provides ``on_cycle(cycle)`` — invoked after every

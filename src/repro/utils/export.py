@@ -1,116 +1,29 @@
-"""CSV / JSON export of run metrics and experiment results.
+"""Plain-text file output, plus a compatibility shim for the exporters.
 
-Every analysis object renders to text tables for the console; this module
-exports the same data in machine-readable form so results can be plotted
-or post-processed outside the library.
+:func:`write_text` is the only genuine utility here.  The metric and
+experiment exporters (``metrics_to_csv`` & co.) live in
+:mod:`repro.core.export` — they are views over ``repro.core`` result
+types, and a module-level import of them from ``utils`` would point
+upward through the architecture tower (REP012).  They remain importable
+from this module through a lazy ``__getattr__`` forward, which creates
+no import-time edge.
 """
 
 from __future__ import annotations
 
-import csv
-import dataclasses
-import io
-import json
-from collections.abc import Sequence
 from pathlib import Path
 from typing import Any
 
-from repro.core.explorer import ExplorationResult
-from repro.core.latency_profile import LatencyProfile
-from repro.core.metrics import QueueMetrics, RunMetrics
-
-
-def metrics_to_dict(metrics: RunMetrics) -> dict[str, Any]:
-    """Flatten a RunMetrics into a one-level dict of scalars."""
-    out: dict[str, Any] = {}
-    for field in dataclasses.fields(metrics):
-        value = getattr(metrics, field.name)
-        if isinstance(value, QueueMetrics):
-            out[f"{field.name}_full_fraction"] = value.full_fraction
-            out[f"{field.name}_busy_fraction"] = value.busy_fraction
-            out[f"{field.name}_rejections"] = value.rejections
-            out[f"{field.name}_pushes"] = value.pushes
-        elif isinstance(value, dict):
-            continue  # extras: caller-defined, not schema-stable
-        else:
-            out[field.name] = value
-    return out
-
-
-def metrics_to_nested_dict(metrics: RunMetrics) -> dict[str, Any]:
-    """Structured rendition of a RunMetrics, queue families kept nested.
-
-    Unlike :func:`metrics_to_dict` (whose flat scalars suit CSV columns),
-    each :class:`QueueMetrics` becomes a sub-object and ``extras`` rides
-    along untouched, so JSON consumers see the full queue-family structure
-    plus any sanitizer/telemetry payloads.
-    """
-    out: dict[str, Any] = {}
-    for field in dataclasses.fields(metrics):
-        value = getattr(metrics, field.name)
-        if isinstance(value, QueueMetrics):
-            out[field.name] = dataclasses.asdict(value)
-        else:
-            out[field.name] = value
-    return out
-
-
-def metrics_to_json(runs: Sequence[RunMetrics], indent: int = 2) -> str:
-    """Render runs as a JSON array, one object per run (nested queues)."""
-    return json.dumps([metrics_to_nested_dict(m) for m in runs], indent=indent)
-
-
-def metrics_to_csv(runs: Sequence[RunMetrics]) -> str:
-    """Render runs as CSV text, one row per run."""
-    if not runs:
-        return ""
-    rows = [metrics_to_dict(m) for m in runs]
-    out = io.StringIO()
-    writer = csv.DictWriter(out, fieldnames=list(rows[0]))
-    writer.writeheader()
-    writer.writerows(rows)
-    return out.getvalue()
-
-
-def profile_to_csv(profile: LatencyProfile) -> str:
-    """Figure 1 series as CSV (latency, ipc, normalized_ipc)."""
-    out = io.StringIO()
-    writer = csv.writer(out)
-    writer.writerow(["benchmark", "latency", "ipc", "normalized_ipc"])
-    for point in profile.points:
-        writer.writerow(
-            [profile.benchmark, point.latency, point.ipc, point.normalized_ipc]
-        )
-    return out.getvalue()
-
-
-def exploration_to_dict(result: ExplorationResult) -> dict[str, Any]:
-    """Section IV results as a JSON-ready structure."""
-    return {
-        "benchmarks": list(result.benchmarks),
-        "configs": list(result.config_labels),
-        "speedups": {
-            label: result.speedups(label)
-            for label in result.config_labels
-            if label != "baseline"
-        },
-        "average_gains": {
-            label: result.average_gain(label)
-            for label in result.config_labels
-            if label != "baseline"
-        },
-        "runs": {
-            label: {
-                bench: metrics_to_dict(metrics)
-                for bench, metrics in by_bench.items()
-            }
-            for label, by_bench in result.runs.items()
-        },
-    }
-
-
-def exploration_to_json(result: ExplorationResult, indent: int = 2) -> str:
-    return json.dumps(exploration_to_dict(result), indent=indent)
+#: Names forwarded to :mod:`repro.core.export` on first attribute access.
+_FORWARDED = frozenset((
+    "exploration_to_dict",
+    "exploration_to_json",
+    "metrics_to_csv",
+    "metrics_to_dict",
+    "metrics_to_json",
+    "metrics_to_nested_dict",
+    "profile_to_csv",
+))
 
 
 def write_text(path: str | Path, text: str) -> Path:
@@ -119,3 +32,15 @@ def write_text(path: str | Path, text: str) -> Path:
     path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(text)
     return path
+
+
+def __getattr__(name: str) -> Any:
+    if name in _FORWARDED:
+        import repro.core.export as _export
+
+        return getattr(_export, name)
+    # The module __getattr__ protocol requires AttributeError specifically;
+    # anything else breaks hasattr() and dir() on this module.
+    raise AttributeError(  # noqa: REP003
+        f"module {__name__!r} has no attribute {name!r}"
+    )

@@ -1,0 +1,11 @@
+"""Fixture: order-sensitive float reduction in a hot-path package (REP011).
+
+Lives under ``repro/cache/`` so the hot-package scoping applies.
+"""
+
+
+def occupancy(latencies):
+    unique = {float(latency) for latency in latencies}
+    total = sum(unique)  # accumulation order is arbitrary
+    mean = sum(x * 0.5 for x in unique)  # generator driven by a set
+    return total, mean

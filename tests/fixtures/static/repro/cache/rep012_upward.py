@@ -1,0 +1,7 @@
+"""Fixture: upward import through the architecture tower (REP012)."""
+
+from repro.cli import main  # cache (component layer) -> cli (entry point)
+
+
+def run():
+    return main

@@ -1,0 +1,21 @@
+"""Fixture: next_wake contract violations (REP006)."""
+
+from repro.sim.component import Component
+
+
+class BadWakeForms(Component):
+    """Returns forms the engine's fast-forward cannot consume."""
+
+    def next_wake(self, now):
+        if now > 100:
+            return "soon"  # string horizon
+        if now > 50:
+            return 1.5  # float constant
+        if now > 25:
+            return now > 10  # boolean expression
+        return now / 2  # true division -> float
+
+
+class BadWakeSignature(Component):
+    def next_wake(self, now, hint):  # extra required parameter
+        return now

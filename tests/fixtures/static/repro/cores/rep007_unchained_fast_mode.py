@@ -1,0 +1,11 @@
+"""Fixture: set_fast_mode override that never chains to super() (REP007)."""
+
+from repro.sim.component import Component
+
+
+class UnchainedFastMode(Component):
+    def __init__(self):
+        self._fast = False
+
+    def set_fast_mode(self, enabled):
+        self._fast = enabled  # swallows the switch; super() never called

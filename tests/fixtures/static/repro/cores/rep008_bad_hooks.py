@@ -1,0 +1,23 @@
+"""Fixture: inspect_*/sample_* hook signature drift (REP008).
+
+Uses an intermediate subclass so the checker's transitive base-class
+resolution is exercised too: ``BadHooks`` reaches Component only through
+``IntermediateComponent``.
+"""
+
+from repro.sim.component import Component
+
+
+class IntermediateComponent(Component):
+    """Conforming middle layer."""
+
+
+class BadHooks(IntermediateComponent):
+    def inspect_queues(self, deep):  # extra required parameter
+        return ()
+
+    def sample_counters(self, now, window):  # base takes only self
+        return ()
+
+    def step(self):  # dropped the cycle argument
+        return None

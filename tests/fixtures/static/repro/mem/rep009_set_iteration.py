@@ -1,0 +1,15 @@
+"""Fixture: unordered iteration feeding output (REP009)."""
+
+
+def report(banks):
+    pending = {bank.name for bank in banks}
+    lines = []
+    for name in pending:  # arbitrary order reaches the report
+        lines.append(name)
+    totals = [len(name) for name in {"a", "b", "c"}]
+    return lines, totals
+
+
+def fine(banks):
+    pending = {bank.name for bank in banks}
+    return [name for name in sorted(pending)]  # sorted(): deterministic

@@ -1,0 +1,13 @@
+"""Fixture: id()-keyed bookkeeping (REP010)."""
+
+
+def track(requests):
+    seen = {}
+    order = []
+    for request in requests:
+        seen[id(request)] = request  # address-keyed store
+        if id(request) not in seen:  # address-keyed membership
+            order.append(request)
+    alive = set()
+    alive.add(id(requests))  # address into a set
+    return sorted(order, key=id), seen, alive  # address sort key

@@ -1,0 +1,7 @@
+"""Fixture: one half of a module-level import cycle (REP012)."""
+
+from repro.mem.rep012_cycle_b import beta
+
+
+def alpha():
+    return beta

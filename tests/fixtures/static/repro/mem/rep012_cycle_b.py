@@ -1,0 +1,7 @@
+"""Fixture: the other half of a module-level import cycle (REP012)."""
+
+from repro.mem.rep012_cycle_a import alpha
+
+
+def beta():
+    return alpha

@@ -141,4 +141,4 @@ class TestDerivedQuantities:
     def test_configs_are_frozen(self):
         cfg = GPUConfig()
         with pytest.raises(dataclasses.FrozenInstanceError):
-            cfg.n_partitions = 8
+            cfg.n_partitions = 8  # noqa: REP005 - deliberately testing that the config is frozen

@@ -44,7 +44,7 @@ def run_until_returns(channel, n, limit=5000):
         channel.step(cycle)
         if len(channel.return_queue) >= n:
             return cycle
-    raise AssertionError(f"only {len(channel.return_queue)} returns in {limit} cycles")
+    raise AssertionError(f"only {len(channel.return_queue)} returns in {limit} cycles")  # noqa: REP003 - test-helper failure, not simulator code
 
 
 class TestBankState:

@@ -8,7 +8,7 @@ from repro.core.explorer import explore_design_space
 from repro.core.latency_profile import profile_latency_tolerance
 from repro.core.metrics import run_kernel
 from repro.sim.config import tiny_gpu
-from repro.utils.export import (
+from repro.core.export import (
     exploration_to_dict,
     exploration_to_json,
     metrics_to_csv,
@@ -69,3 +69,23 @@ class TestWriteText:
         target = tmp_path / "a" / "b" / "out.csv"
         write_text(target, "x,y\n1,2\n")
         assert target.read_text().startswith("x,y")
+
+
+class TestUtilsExportShim:
+    """The historical repro.utils.export location keeps forwarding."""
+
+    def test_forwards_moved_exporters(self):
+        from repro.core import export as core_export
+        from repro.utils import export as utils_export
+
+        assert utils_export.metrics_to_dict is core_export.metrics_to_dict
+        assert utils_export.profile_to_csv is core_export.profile_to_csv
+        assert utils_export.exploration_to_json is core_export.exploration_to_json
+
+    def test_unknown_attribute_still_raises(self):
+        import pytest
+
+        from repro.utils import export as utils_export
+
+        with pytest.raises(AttributeError):
+            utils_export.no_such_exporter

@@ -148,7 +148,7 @@ class TestBatchRunnerSerial:
         # A warm rerun must perform zero simulations: executing again
         # would mean the cache key failed to identify the job.
         def boom(self):
-            raise AssertionError("cache miss: job executed")
+            raise AssertionError("cache miss: job executed")  # noqa: REP003 - monkeypatched probe must not look like a modelled failure
 
         monkeypatch.setattr(Job, "execute", boom)
         second = BatchRunner(jobs=1, cache=cache).run([_job()])
@@ -186,7 +186,7 @@ class TestBatchRunnerSerial:
         def flaky(self):
             attempts.append(1)
             if len(attempts) < 3:
-                raise ValueError("transient")
+                raise ValueError("transient")  # noqa: REP003 - deliberately a non-ReproError to exercise retry
             return original(self)
 
         monkeypatch.setattr(Job, "execute", flaky)
@@ -336,7 +336,7 @@ class TestTruncationFlag:
 
     def test_truncated_is_exported(self):
         metrics = _job(max_cycles=50).execute()
-        from repro.utils.export import metrics_to_dict
+        from repro.core.export import metrics_to_dict
         assert metrics_to_dict(metrics)["truncated"] is True
 
     def test_runmetrics_default_is_not_truncated(self):
