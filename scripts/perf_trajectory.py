@@ -1,0 +1,193 @@
+#!/usr/bin/env python
+"""Maintain and enforce the committed simulator-perf trajectory.
+
+``BENCH_perf.json`` at the repo root records the simulator's own
+throughput (sim kcycles per wall second, from
+``benchmarks/test_simulator_performance.py``) as a per-PR append-only
+series, so the cost of the harness is reviewed like any other diff
+instead of vanishing into CI artifacts.
+
+Two modes, both reading a fresh pytest-benchmark JSON run::
+
+    # after `pytest benchmarks/test_simulator_performance.py
+    #        --benchmark-json=perf_run.json`:
+    python scripts/perf_trajectory.py append --run perf_run.json
+    python scripts/perf_trajectory.py check  --run perf_run.json
+
+``append`` adds one entry (commit, date, rate per benchmark) to the
+trajectory; run it on the machine that defines your reference numbers
+and commit the result.  ``check`` compares the fresh run against the
+most recent entry and fails when any benchmark drops below
+``--tolerance`` (default 0.25) of its recorded rate — deliberately loose,
+because CI runners are slower and noisier than the reference machine;
+the floor exists to catch order-of-magnitude hot-path regressions, not
+jitter.
+"""
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import NoReturn
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The committed trajectory file (append-only entries, newest last).
+TRAJECTORY = REPO_ROOT / "BENCH_perf.json"
+
+#: Bumped when the trajectory layout changes.
+TRAJECTORY_SCHEMA = 1
+
+#: check fails when rate < tolerance * recorded rate.
+DEFAULT_TOLERANCE = 0.25
+
+
+def _fail(message: str) -> NoReturn:
+    print(f"perf_trajectory: {message}", file=sys.stderr)
+    sys.exit(2)
+
+
+def read_rates(run_path: Path) -> dict[str, float]:
+    """Extract ``sim_kcycles_per_s`` per benchmark from a pytest-benchmark run."""
+    data = json.loads(run_path.read_text(encoding="utf-8"))
+    rates: dict[str, float] = {}
+    for bench in data.get("benchmarks", []):
+        rate = bench.get("extra_info", {}).get("sim_kcycles_per_s")
+        if rate is not None:
+            rates[bench["name"]] = float(rate)
+    if not rates:
+        _fail(f"no sim_kcycles_per_s rates found in {run_path}")
+    return rates
+
+
+def load_trajectory() -> dict:
+    if not TRAJECTORY.is_file():
+        return {
+            "schema": TRAJECTORY_SCHEMA,
+            "unit": "sim_kcycles_per_s",
+            "entries": [],
+        }
+    data = json.loads(TRAJECTORY.read_text(encoding="utf-8"))
+    if data.get("schema") != TRAJECTORY_SCHEMA:
+        _fail(
+            f"{TRAJECTORY.name} has schema {data.get('schema')!r}, "
+            f"this tool expects {TRAJECTORY_SCHEMA}"
+        )
+    return data
+
+
+def git_head() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def git_date() -> str:
+    try:
+        proc = subprocess.run(
+            ["git", "show", "-s", "--format=%cs", "HEAD"],
+            cwd=REPO_ROOT, capture_output=True, text=True, check=True,
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def cmd_append(args: argparse.Namespace) -> int:
+    rates = read_rates(Path(args.run))
+    trajectory = load_trajectory()
+    entry = {
+        "commit": args.commit or git_head(),
+        "date": args.date or git_date(),
+        "rates": dict(sorted(rates.items())),
+    }
+    trajectory["entries"].append(entry)
+    TRAJECTORY.write_text(
+        json.dumps(trajectory, indent=2) + "\n", encoding="utf-8"
+    )
+    print(f"appended entry {entry['commit']} ({entry['date']}):")
+    for name, rate in entry["rates"].items():
+        print(f"  {name}: {rate} kcycles/s")
+    print(f"wrote {TRAJECTORY}")
+    return 0
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    rates = read_rates(Path(args.run))
+    trajectory = load_trajectory()
+    if not trajectory["entries"]:
+        print(
+            "perf_trajectory: no recorded entries yet; run append first",
+            file=sys.stderr,
+        )
+        return 0
+    latest = trajectory["entries"][-1]
+    recorded = latest["rates"]
+    print(
+        f"comparing against entry {latest['commit']} ({latest['date']}), "
+        f"tolerance {args.tolerance}"
+    )
+    failures = []
+    for name in sorted(recorded):
+        reference = recorded[name]
+        floor = args.tolerance * reference
+        current = rates.get(name)
+        if current is None:
+            failures.append(f"{name}: missing from this run")
+            continue
+        verdict = "ok" if current >= floor else "REGRESSION"
+        print(
+            f"  {name}: {current} vs recorded {reference} "
+            f"(floor {floor:.1f}) {verdict}"
+        )
+        if current < floor:
+            failures.append(
+                f"{name}: {current} kcycles/s is below {floor:.1f} "
+                f"({args.tolerance} x recorded {reference})"
+            )
+    for name in sorted(set(rates) - set(recorded)):
+        print(f"  {name}: {rates[name]} (new benchmark, no recorded floor)")
+    if failures:
+        print("perf_trajectory: FAILED", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("perf_trajectory: ok")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="mode", required=True)
+    append = sub.add_parser(
+        "append", help="record a fresh run as the newest trajectory entry")
+    append.add_argument(
+        "--run", required=True, metavar="JSON",
+        help="pytest-benchmark JSON output to record")
+    append.add_argument(
+        "--commit", default=None, help="commit id (default: git HEAD)")
+    append.add_argument(
+        "--date", default=None, help="entry date (default: git HEAD date)")
+    append.set_defaults(func=cmd_append)
+    check = sub.add_parser(
+        "check", help="fail when a fresh run regresses past the floor")
+    check.add_argument(
+        "--run", required=True, metavar="JSON",
+        help="pytest-benchmark JSON output to compare")
+    check.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE,
+        help="minimum acceptable fraction of the recorded rate "
+             f"(default: {DEFAULT_TOLERANCE})")
+    check.set_defaults(func=cmd_check)
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,10 @@ Checked contracts
   entry's line, and no entry outlives its requests (an entry whose
   requests have all retired is a *leak*: the fill that should have
   released it was lost).
+* **Cycle-accounting conservation** — a component exposing
+  ``inspect_cycle_classes`` partitions its stepped cycles exhaustively:
+  the class counts sum exactly to its total cycles, the invariant the
+  :mod:`repro.telemetry.attribution` layer is built on.
 """
 
 from __future__ import annotations
@@ -112,4 +116,38 @@ def mshr_violations(table: Any) -> list[str]:
                 f"{entry.line:#x} (all {len(entry.requests)} merged "
                 "requests already retired, entry never released)"
             )
+    return problems
+
+
+def cycle_accounting_violations(component: Any) -> list[str]:
+    """Exact conservation of the cycle-accounting partition.
+
+    A component that implements ``inspect_cycle_classes`` promises that
+    its accounting classes partition its total cycles: every stepped cycle
+    lands in exactly one class, so the class counts sum to ``cycles`` at
+    every cycle boundary.  A shortfall means a cycle escaped
+    classification; an excess means a cycle was double-counted — either
+    way the attribution built on top of the partition would silently lie.
+    """
+    classes = dict(component.inspect_cycle_classes())
+    if not classes:
+        return []
+    problems: list[str] = []
+    total = classes.pop("cycles", None)
+    if total is None:
+        problems.append(
+            f"{component.name}: inspect_cycle_classes() returned classes "
+            "without the mandatory 'cycles' total"
+        )
+        return problems
+    if any(count < 0 for count in classes.values()):
+        problems.append(
+            f"{component.name}: negative cycle-class count in {classes}"
+        )
+    accounted = sum(classes.values())
+    if accounted != total:
+        problems.append(
+            f"{component.name}: cycle accounting broken: classes sum to "
+            f"{accounted} but {total} cycles elapsed ({classes})"
+        )
     return problems

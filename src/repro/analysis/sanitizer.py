@@ -21,6 +21,10 @@ every ``interval``-th cycle it walks the registered components through the
   (an entry whose merged requests have all retired).
 * **queue bounds** — occupancy within capacity and consistent with the
   push/pop counters.
+* **cycle-accounting conservation** — any component exposing
+  ``inspect_cycle_classes`` keeps its accounting classes summing exactly
+  to its total stepped cycles (the attribution partition never leaks or
+  double-counts a cycle).
 * **forward progress** — while work is in flight, *something* must change
   within ``deadlock_cycles`` cycles (a request created or retired, or a
   queue pushed/popped); otherwise the system is wedged and the sanitizer
@@ -37,6 +41,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.analysis.invariants import (
+    cycle_accounting_violations,
     mshr_violations,
     queue_bound_violations,
     timestamp_violations,
@@ -158,6 +163,8 @@ class Sanitizer:
         problems = queue_bound_violations(queues)
         for table in mshrs:
             problems.extend(mshr_violations(table))
+        for component in self._sim.components:
+            problems.extend(cycle_accounting_violations(component))
 
         # Occurrence map over transit containers, by object identity.
         seen: dict[int, tuple[object, list[str]]] = {}

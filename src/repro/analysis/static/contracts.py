@@ -49,6 +49,8 @@ _HOOK_SIGNATURES: dict[str, tuple[str, ...]] = {
     "sample_queues": (),
     "sample_mshrs": (),
     "sample_counters": (),
+    "sample_stalls": (),
+    "inspect_cycle_classes": (),
     "is_idle": (),
     "step": ("now",),
     "finalize": ("now",),

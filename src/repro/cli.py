@@ -6,6 +6,8 @@ Every experiment in the paper can be regenerated from the shell::
     repro table1                    # print Table I
     repro run lbm                   # run one benchmark, print its metrics
     repro run lbm --timeline        # ... plus per-window telemetry sparklines
+    repro profile lbm               # top-down cycle accounting + blame chains
+    repro profile lbm --diff baseline l2  # explain a speedup as reclaimed stalls
     repro congestion                # Section III queue-occupancy study
     repro latency-profile           # Figure 1
     repro explore                   # Section IV design-space exploration
@@ -24,17 +26,25 @@ Batch commands (``run``, ``congestion``, ``latency-profile``, ``explore``,
 ``replicate``, ``export``) additionally accept ``--jobs N`` (process-pool
 fan-out; ``--jobs 1`` stays in-process), ``--no-cache`` and ``--cache-dir``.
 Results are cached on disk keyed by config + kernel + seed + code version;
-``repro cache info`` / ``repro cache clear`` manage the store.  Report
-output on stdout is byte-identical whatever the parallelism or cache
-state — cache notes and truncation warnings go to stderr.
+``repro cache info`` / ``repro cache clear`` manage the store (``info``
+also reports lifetime hit-rate statistics).  Report output on stdout is
+byte-identical whatever the parallelism or cache state — cache notes and
+truncation warnings go to stderr.
 
 Observability: ``repro run --timeline`` attaches the
 :class:`repro.telemetry.TimeSeriesProbe` and renders cycle-windowed IPC /
 queue-congestion / occupancy sparklines (``--window`` sets the window
-length); ``repro trace`` attaches the
-:class:`repro.telemetry.RequestTracer` and writes Chrome trace-event JSON
-(open in chrome://tracing or https://ui.perfetto.dev) along with a
+length); ``repro profile`` attaches the
+:class:`repro.telemetry.AttributionProbe` and renders the top-down
+cycle-accounting tree plus back-pressure blame chains (``--diff A B``
+explains the speedup between two Section IV config labels as reclaimed
+stall cycles; ``--json`` exports the document); ``repro trace`` attaches
+the :class:`repro.telemetry.RequestTracer` and writes Chrome trace-event
+JSON (open in chrome://tracing or https://ui.perfetto.dev) along with a
 per-hop latency digest (``--stride`` / ``--limit`` control sampling).
+Batch commands additionally accept ``--events PATH`` (append a JSONL
+runner event log: job start/finish with wall times, cache hits, retries,
+pool utilization) and ``--progress`` (a one-line stderr ticker).
 
 Errors deriving from :class:`repro.errors.ReproError` (bad usage, cycle
 limits, sanitizer violations) print as ``error: ...`` on stderr with exit
@@ -58,6 +68,7 @@ from repro.core.design_space import render_table_i
 from repro.core.explorer import explore_design_space
 from repro.core.latency_profile import profile_latency_tolerance
 from repro.core.metrics import run_kernel
+from repro.core.profile import config_for_label, profile_diff, profile_kernel
 from repro.core.replication import replicate
 from repro.core.validation import validate_reproduction
 from repro.core.export import metrics_to_csv, metrics_to_json, write_text
@@ -65,11 +76,13 @@ from repro.errors import ReproError
 from repro.core.report import (
     render_congestion,
     render_figure1,
+    render_profile,
+    render_profile_diff,
     render_section_iv,
     render_timeline,
 )
 from repro.core.synergy import analyze_synergy
-from repro.runner import BatchRunner, Job, ResultCache
+from repro.runner import BatchRunner, EventLog, Job, ResultCache
 from repro.sim.config import GPUConfig, fermi_gtx480, small_gpu, tiny_gpu
 from repro.utils.tables import render_table
 from repro.workloads.suite import PAPER_SUITE, SPECS, get_benchmark
@@ -107,11 +120,21 @@ def _add_runner(parser: argparse.ArgumentParser) -> None:
         "--cache-dir", default=None, metavar="DIR",
         help="result cache directory (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro)")
+    parser.add_argument(
+        "--events", default=None, metavar="PATH",
+        help="append a JSONL runner event log (job start/finish with wall "
+             "times, cache hits, retries, pool utilization) to PATH")
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="show a one-line progress ticker on stderr while the batch "
+             "runs (stdout output is unaffected)")
 
 
 def _make_runner(args: argparse.Namespace) -> BatchRunner:
     cache = None if args.no_cache else ResultCache(args.cache_dir)
-    return BatchRunner(jobs=args.jobs, cache=cache)
+    events = EventLog(args.events) if args.events else None
+    return BatchRunner(
+        jobs=args.jobs, cache=cache, events=events, progress=args.progress)
 
 
 def _note_batch(runner: BatchRunner, *metrics_groups) -> None:
@@ -194,6 +217,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
         ["DRAM row-hit rate", f"{metrics.dram_row_hit_rate:.1%}"],
         ["DRAM bus utilization", f"{metrics.dram_bus_utilization:.1%}"],
         ["DRAM reads / writes", f"{metrics.dram_reads} / {metrics.dram_writes}"],
+        ["mem-pipeline stall cycles", metrics.mem_pipeline_stall_cycles],
+    ] + [
+        [f"  {cause}", cycles]
+        for cause, cycles in metrics.mem_stall_cycles_by_cause.items()
     ]
     print(render_table(
         ["metric", "value"], rows,
@@ -210,6 +237,39 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if timeline is not None:
         print()
         print(render_timeline(timeline))
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    config = _config(args)
+    if args.diff is not None:
+        label_a, label_b = args.diff
+        profiles = [
+            profile_kernel(
+                config_for_label(config, label),
+                args.benchmark,
+                config_label=label,
+                iteration_scale=args.scale,
+                seed=args.seed,
+                window=args.window,
+            )
+            for label in (label_a, label_b)
+        ]
+        document = profile_diff(*profiles)
+        print(render_profile_diff(document))
+    else:
+        document = profile_kernel(
+            config_for_label(config, args.config_label),
+            args.benchmark,
+            config_label=args.config_label,
+            iteration_scale=args.scale,
+            seed=args.seed,
+            window=args.window,
+        )
+        print(render_profile(document))
+    if args.json:
+        path = write_text(args.json, json.dumps(document, indent=2) + "\n")
+        print(f"\nwrote profile JSON to {path}", file=sys.stderr)
     return 0
 
 
@@ -362,6 +422,15 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     else:
         count, size = cache.stats()
         print(f"cache {cache.directory}: {count} entries, {size} bytes")
+        usage = cache.usage_stats()
+        lookups = usage["hits"] + usage["misses"]
+        if lookups:
+            print(
+                f"lifetime lookups: {lookups} ({usage['hits']} hits, "
+                f"{usage['misses']} misses, "
+                f"{usage['hits'] / lookups:.1%} hit rate over "
+                f"{usage['batches']} batches)"
+            )
     return 0
 
 
@@ -407,6 +476,28 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(run)
     _add_runner(run)
     run.set_defaults(func=_cmd_run)
+
+    profile = sub.add_parser(
+        "profile",
+        help="top-down cycle accounting and bottleneck blame chains for "
+             "one benchmark")
+    profile.add_argument("benchmark", choices=sorted(SPECS))
+    profile.add_argument(
+        "--config-label", default="baseline", metavar="LABEL",
+        help="Section IV scaling label to profile (baseline, l1, l2, "
+             "dram, l1+l2, l2+dram; default: baseline)")
+    profile.add_argument(
+        "--diff", nargs=2, default=None, metavar=("A", "B"),
+        help="profile two Section IV labels and explain B's speedup over "
+             "A as reclaimed stall cycles (overrides --config-label)")
+    profile.add_argument(
+        "--window", type=int, default=None, metavar="CYCLES",
+        help="attribution window length in cycles (default: 2000)")
+    profile.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="also write the profile (or diff) document as JSON to PATH")
+    _add_common(profile)
+    profile.set_defaults(func=_cmd_profile)
 
     trace = sub.add_parser(
         "trace",
@@ -524,7 +615,8 @@ def build_parser() -> argparse.ArgumentParser:
         "cache", help="inspect or clear the on-disk result cache")
     cache.add_argument(
         "action", choices=["info", "clear"],
-        help="info: entry count and size; clear: delete every entry")
+        help="info: entry count, size and lifetime hit rate; clear: "
+             "delete every entry")
     cache.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result cache directory (default: $REPRO_CACHE_DIR or "

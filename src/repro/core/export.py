@@ -21,7 +21,7 @@ from typing import Any
 
 from repro.core.explorer import ExplorationResult
 from repro.core.latency_profile import LatencyProfile
-from repro.core.metrics import QueueMetrics, RunMetrics
+from repro.core.metrics import STALL_CAUSE_KEYS, QueueMetrics, RunMetrics
 from repro.utils.export import write_text
 
 __all__ = [
@@ -46,6 +46,12 @@ def metrics_to_dict(metrics: RunMetrics) -> dict[str, Any]:
             out[f"{field.name}_busy_fraction"] = value.busy_fraction
             out[f"{field.name}_rejections"] = value.rejections
             out[f"{field.name}_pushes"] = value.pushes
+        elif field.name == "mem_stall_cycles_by_cause":
+            # Column-stable: every cause key always present (zero-filled).
+            for cause in STALL_CAUSE_KEYS:
+                out[f"mem_stall_{cause[len('stall_'):]}_cycles"] = (
+                    value.get(cause, 0)
+                )
         elif isinstance(value, dict):
             continue  # extras: caller-defined, not schema-stable
         else:

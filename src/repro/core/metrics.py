@@ -12,12 +12,19 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 
+from repro.cache.l1 import AccessResult
 from repro.errors import CycleLimitExceeded
 from repro.gpu import GPU
 from repro.sim.config import GPUConfig
 from repro.sim.engine import DEFAULT_MAX_CYCLES
 from repro.utils.means import arithmetic_mean
 from repro.workloads.program import KernelProgram
+
+#: Stable string keys for the memory-pipeline stall causes, in a fixed
+#: order so exports/CSV columns never depend on which causes a run hit.
+STALL_CAUSE_KEYS: tuple[str, ...] = tuple(
+    result.value for result in AccessResult if result.is_stall
+)
 
 
 @dataclass(frozen=True)
@@ -72,6 +79,22 @@ class RunMetrics:
     # --- core ---
     mem_pipeline_stall_cycles: int
     no_ready_warp_fraction: float
+    # --- cycle accounting (summed over SMs; see telemetry.attribution) ---
+    #: Total SM-cycles stepped (= cycles * SM count): the accounting
+    #: denominator the four classes below partition exactly.
+    sm_cycles: int = 0
+    #: SM-cycles that issued at least one instruction.
+    issue_cycles: int = 0
+    #: SM-cycles with ready warps but nothing issued (LD/ST queue full).
+    issue_starved_cycles: int = 0
+    #: SM-cycles with no ready warp (all warps blocked on memory).
+    no_ready_warp_cycles: int = 0
+    #: SM-cycles after an SM quiesced while others still ran.
+    drained_cycles: int = 0
+    #: Memory-pipeline stall cycles keyed by stable cause string
+    #: (``stall_mshr_full`` / ``stall_merge_full`` / ``stall_missq_full``);
+    #: always zero-filled with every key so exports are column-stable.
+    mem_stall_cycles_by_cause: dict = field(default_factory=dict)
     #: True when the run hit its ``max_cycles`` budget before completing
     #: (or draining).  Truncated metrics are lower bounds and must not be
     #: silently averaged into aggregates — reports mark them.
@@ -109,6 +132,11 @@ def collect_metrics(gpu: GPU, benchmark: str = "") -> RunMetrics:
     merged_hist = Histogram("l1_miss_latency")
     for l1 in l1s:
         merged_hist.merge(l1.miss_latency_hist)
+
+    stall_by_cause: dict = {key: 0 for key in STALL_CAUSE_KEYS}
+    for sm in sms:
+        for cause, stalled in sm.stall_cycles_by_cause.items():
+            stall_by_cause[cause.value] += stalled
 
     magic = gpu.config.magic_memory
     if magic:
@@ -190,6 +218,12 @@ def collect_metrics(gpu: GPU, benchmark: str = "") -> RunMetrics:
             if cycles
             else 0.0
         ),
+        sm_cycles=sum(sm.cycles for sm in sms),
+        issue_cycles=sum(sm.issue_cycles for sm in sms),
+        issue_starved_cycles=sum(sm.issue_starved_cycles for sm in sms),
+        no_ready_warp_cycles=sum(sm.no_ready_warp_cycles for sm in sms),
+        drained_cycles=sum(sm.drained_cycles for sm in sms),
+        mem_stall_cycles_by_cause=stall_by_cause,
     )
 
 
@@ -206,6 +240,8 @@ def run_kernel(
     trace: bool = False,
     trace_stride: int | None = None,
     trace_limit: int | None = None,
+    attribution: bool = False,
+    attribution_window: int | None = None,
     fast_forward: bool = True,
 ) -> RunMetrics:
     """Build, run and measure one kernel on one configuration.
@@ -226,8 +262,12 @@ def run_kernel(
     bus utilization) into ``RunMetrics.extras['timeline']``; with
     ``trace``, a :class:`repro.telemetry.RequestTracer` stride-samples
     requests into a Chrome trace (``extras['trace']``) plus a per-hop
-    latency digest (``extras['trace_hops']``).  All instrumentation is
-    opt-in: the default run is bit-identical to an uninstrumented one.
+    latency digest (``extras['trace_hops']``); with ``attribution``, an
+    :class:`repro.telemetry.AttributionProbe` computes windowed cycle
+    accounting and bottleneck blame chains into
+    ``extras['attribution']`` (the data behind ``repro profile``).  All
+    instrumentation is opt-in: the default run is bit-identical to an
+    uninstrumented one.
 
     A run that exhausts ``max_cycles`` is *not* silently averaged away:
     its statistics intervals are closed at the cut-off, the metrics carry
@@ -245,9 +285,19 @@ def run_kernel(
         sanitizer = Sanitizer.attach(gpu, interval=sanitize_interval)
     probe = None
     tracer = None
-    if timeline or trace:
+    attributor = None
+    if timeline or trace or attribution:
         from repro import telemetry
 
+        if attribution:
+            attributor = telemetry.AttributionProbe.attach(
+                gpu,
+                window=(
+                    telemetry.DEFAULT_WINDOW
+                    if attribution_window is None
+                    else attribution_window
+                ),
+            )
         if timeline:
             probe = telemetry.TimeSeriesProbe.attach(
                 gpu,
@@ -292,4 +342,6 @@ def run_kernel(
     if tracer is not None:
         metrics.extras["trace"] = tracer.to_chrome_trace()
         metrics.extras["trace_hops"] = tracer.hop_summary()
+    if attributor is not None:
+        metrics.extras["attribution"] = attributor.summary()
     return metrics

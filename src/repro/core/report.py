@@ -140,6 +140,161 @@ def render_timeline(timeline: Mapping) -> str:
     return "\n".join(lines)
 
 
+#: Human-readable glosses for the cycle-accounting classes.
+_CLASS_GLOSS: Mapping[str, str] = {
+    "issue": "issued >= 1 instruction",
+    "issue_starved": "ready warps, LD/ST queue full",
+    "no_ready_warp": "all warps blocked on memory",
+    "drained": "SM finished, GPU still running",
+}
+
+#: Human-readable glosses for the memory-pipeline stall causes.
+_STALL_GLOSS: Mapping[str, str] = {
+    "stall_mshr_full": "no free MSHR for a new miss",
+    "stall_merge_full": "MSHR merge list full",
+    "stall_missq_full": "L1 miss queue full (downstream back-pressure)",
+}
+
+#: Human-readable glosses for the blame stages.
+_BLAME_GLOSS: Mapping[str, str] = {
+    "dram": "DRAM sched queue / L2 miss queue full",
+    "l2": "L2 access queue full",
+    "icnt": "request crossbar delivery blocked",
+    "l1": "L1 miss bandwidth (nothing below congested)",
+    "mem_latency": "raw fill latency, no queueing",
+}
+
+
+def _share_rows(
+    counts: Mapping[str, int],
+    total: int,
+    windows: Sequence[Mapping],
+    window_field: str,
+    gloss: Mapping[str, str],
+) -> list[list[str]]:
+    """Table rows: count, share of ``total`` and a per-window sparkline."""
+    rows = []
+    for key, count in counts.items():
+        share = count / total if total else 0.0
+        spark = ""
+        if len(windows) > 1:
+            series = []
+            for w in windows:
+                values = w.get(window_field, {})
+                denominator = sum(values.values())
+                series.append(
+                    values.get(key, 0) / denominator if denominator else 0.0
+                )
+            spark = sparkline(series, _TIMELINE_WIDTH, lo=0.0, hi=1.0)
+        rows.append(
+            [key, f"{count}", f"{share:.1%}", spark, gloss.get(key, "")]
+        )
+    return rows
+
+
+def render_profile(profile: Mapping) -> str:
+    """Render a ``profile_kernel`` document as the accounting tree."""
+    windows = profile.get("windows", [])
+    sm_cycles = profile.get("sm_cycles", 0)
+    lines = [
+        (
+            f"Top-down cycle accounting: {profile['benchmark']} "
+            f"({profile['config']}, scale {profile['scale']}, "
+            f"seed {profile['seed']})"
+        ),
+        (
+            f"  {profile['cycles']} cycles, {profile['instructions']} "
+            f"instructions, IPC {profile['ipc']:.3f}"
+            + (" [truncated]" if profile.get("truncated") else "")
+        ),
+        "",
+    ]
+
+    classes = profile.get("classes", {})
+    rows = _share_rows(classes, sm_cycles, windows, "classes", _CLASS_GLOSS)
+    lines.append(render_table(
+        ["class", "SM-cycles", "share", "over time", "meaning"],
+        rows,
+        title=f"Cycle classes (partition {sm_cycles} SM-cycles exactly; "
+              f"conserved={str(profile.get('conserved', False)).lower()})",
+        align="lrrll"))
+
+    stalls = profile.get("stalls", {})
+    stall_total = sum(stalls.values())
+    lines.append("")
+    if stall_total:
+        blame = profile.get("blame", {})
+        stall_rows = [
+            row[:3] + [_STALL_GLOSS.get(row[0], "")]
+            for row in _share_rows(stalls, stall_total, [], "stalls", {})
+        ]
+        lines.append(render_table(
+            ["cause", "stall cycles", "share", "meaning"],
+            stall_rows,
+            title=f"Memory-pipeline stalls: {stall_total} SM-cycles "
+                  "(back-pressure on the LD/ST pipe; overlaps the classes "
+                  "above)",
+            align="lrrl"))
+        lines.append("")
+        lines.append(render_table(
+            ["blamed stage", "stall cycles", "share", "over time",
+             "evidence"],
+            _share_rows(blame, stall_total, windows, "blame", _BLAME_GLOSS),
+            title="Blame chains (deepest congested stage per window, "
+                  f"threshold "
+                  f"{100 * profile.get('blame_threshold', 0.25):.0f}% full)",
+            align="lrrll"))
+        congestion = sum(
+            blame.get(stage, 0) for stage in ("dram", "l2", "icnt")
+        )
+        lines.append(
+            f"\n{congestion / stall_total:.0%} of stall cycles blamed on "
+            "downstream congestion (paper Sec. III: L2 access queues full "
+            f"{PAPER_L2_ACCESSQ_FULL:.0%}, DRAM sched queues full "
+            f"{PAPER_DRAM_SCHEDQ_FULL:.0%} of usage lifetime)"
+        )
+    else:
+        lines.append("Memory-pipeline stalls: none (compute-bound)")
+    return "\n".join(lines)
+
+
+def render_profile_diff(diff: Mapping) -> str:
+    """Render a ``profile_diff`` document: the speedup, explained."""
+    a, b = diff["a"], diff["b"]
+    lines = [
+        (
+            f"Profile diff: {diff['benchmark']} "
+            f"(scale {diff['scale']}, seed {diff['seed']}) — "
+            f"{a['config']} -> {b['config']}"
+        ),
+        (
+            f"  cycles {a['cycles']} -> {b['cycles']} "
+            f"({diff['cycles_saved']:+d} saved), "
+            f"IPC {a['ipc']:.3f} -> {b['ipc']:.3f} "
+            f"(speedup {diff['speedup']:.2f}x)"
+        ),
+        "",
+    ]
+    saved = diff["sm_cycles_saved"]
+    sections = (
+        ("classes_reclaimed", "Cycle classes reclaimed "
+         f"(sum to the {saved} saved SM-cycles)", _CLASS_GLOSS),
+        ("stalls_reclaimed", "Stall cycles reclaimed by cause", _STALL_GLOSS),
+        ("blame_reclaimed", "Stall cycles reclaimed by blamed stage",
+         _BLAME_GLOSS),
+    )
+    for field, title, gloss in sections:
+        rows = [
+            [key, f"{value:+d}", gloss.get(key, "")]
+            for key, value in diff[field].items()
+        ]
+        lines.append(render_table(
+            [field.split("_")[0], "SM-cycles reclaimed", "meaning"],
+            rows, title=title, align="lrl"))
+        lines.append("")
+    return "\n".join(lines).rstrip("\n")
+
+
 def render_congestion(report: CongestionReport) -> str:
     """Section III comparison against the paper's 46% / 39%."""
     lines = [

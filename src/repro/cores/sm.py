@@ -88,11 +88,18 @@ class SM(Component):
         #: Cycles the memory pipeline was throttled by an L1 refusal.
         self.mem_pipeline_stall_cycles = 0
         self.stall_cycles_by_cause: dict[AccessResult, int] = {}
+        #: Cycles that issued at least one instruction.
+        self.issue_cycles = 0
         #: Cycles with at least one ready warp but no instruction issued
         #: (structural: LD/ST queue full).
         self.issue_starved_cycles = 0
         #: Cycles with no ready warp at all (everything blocked on memory).
         self.no_ready_warp_cycles = 0
+        #: Cycles stepped after the SM quiesced (kernel drained here while
+        #: other SMs still run).  Together with the three counters above
+        #: this partitions ``cycles`` exactly — the conservation invariant
+        #: behind :meth:`inspect_cycle_classes`.
+        self.drained_cycles = 0
         #: Fast-path flag: all warps retired and all queues drained.
         self._quiesced = False
         #: (request id, L1 resource epoch) of the last stalled transaction;
@@ -161,6 +168,7 @@ class SM(Component):
         self._skip_until = 0
         self.cycles += 1
         if self._quiesced:
+            self.drained_cycles += 1
             return
         if (
             self._l1_writebacks
@@ -272,6 +280,7 @@ class SM(Component):
         # epoch, or through a compute-burst horizon.
         self.cycles += cycles
         if self._quiesced:
+            self.drained_cycles += cycles
             return
         if self._ldst_queue:
             self.mem_pipeline_stall_cycles += cycles
@@ -287,6 +296,8 @@ class SM(Component):
             else:
                 # Jump granted through a compute-burst horizon: replay the
                 # round-robin issue the skipped cycles would have done.
+                # Every cycle inside the horizon issues >= 1 instruction.
+                self.issue_cycles += cycles
                 self._replay_burst(cycles)
         else:
             self.no_ready_warp_cycles += cycles
@@ -453,6 +464,7 @@ class SM(Component):
                 queue.rotate(-1)
             if issued >= limit:
                 self._issue_frozen = False
+                self.issue_cycles += 1
                 return
             candidates = list(queue)
             if issued:
@@ -504,6 +516,7 @@ class SM(Component):
             self._issue_frozen = mem_blocked and not churned
         else:
             self._issue_frozen = False
+            self.issue_cycles += 1
 
     def _issue_one(self, warp: Warp, now: int) -> int:
         """Issue one instruction from ``warp``.
@@ -631,6 +644,21 @@ class SM(Component):
             ("mem_pipeline_stall_cycles", self.mem_pipeline_stall_cycles),
             ("l1_misses_issued", self.l1.misses_issued),
         )
+
+    def sample_stalls(self):
+        return tuple(
+            (cause.value, cycles)
+            for cause, cycles in self.stall_cycles_by_cause.items()
+        )
+
+    def inspect_cycle_classes(self):
+        return {
+            "cycles": self.cycles,
+            "issue": self.issue_cycles,
+            "issue_starved": self.issue_starved_cycles,
+            "no_ready_warp": self.no_ready_warp_cycles,
+            "drained": self.drained_cycles,
+        }
 
     @property
     def ipc(self) -> float:

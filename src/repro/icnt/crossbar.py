@@ -193,6 +193,10 @@ class Crossbar(Component):
         return (
             (f"{self.name}_flits_sent", self.flits_sent),
             (f"{self.name}_packets_delivered", self.packets_delivered),
+            (
+                f"{self.name}_delivery_blocked_cycles",
+                self.delivery_blocked_cycles,
+            ),
         )
 
     @property

@@ -189,6 +189,16 @@ class RingNetwork(Component):
         for buffer in self._arrivals:
             yield from buffer
 
+    def sample_counters(self):
+        return (
+            (f"{self.name}_packets_delivered", self.packets_delivered),
+            (f"{self.name}_total_hops", self.total_hops),
+            (
+                f"{self.name}_delivery_blocked_cycles",
+                self.delivery_blocked_cycles,
+            ),
+        )
+
     @property
     def mean_hops(self) -> float:
         return self.total_hops / self.packets_delivered \

@@ -21,10 +21,18 @@ Three guarantees the drivers rely on:
   times; whatever still fails surfaces as one
   :class:`repro.errors.RunnerError` summary instead of a half-finished
   report (completed results are already cached and survive the error).
+
+Campaign observability is opt-in: an :class:`EventLog` appends one JSON
+line per runner event (submit/start/finish with per-job wall time, cache
+hit, retry, batch summaries with pool utilization) and a
+:class:`ProgressLine` tickers long ``--jobs N`` sweeps on stderr; the
+cache additionally keeps advisory hit/miss statistics readable through
+``repro cache info``.
 """
 
 from repro.runner.job import Job, code_version
 from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.events import EventLog, ProgressLine
 from repro.runner.pool import DEFAULT_RETRIES, BatchRunner, JobFailure, RunnerStats
 
 __all__ = [
@@ -33,7 +41,9 @@ __all__ = [
     "ResultCache",
     "default_cache_dir",
     "BatchRunner",
+    "EventLog",
     "JobFailure",
+    "ProgressLine",
     "RunnerStats",
     "DEFAULT_RETRIES",
 ]

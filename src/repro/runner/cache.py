@@ -10,10 +10,16 @@ any config or code change misses cleanly.
 Entries that fail to unpickle (interrupted writes, stale formats) are
 deleted and treated as misses; writes go through a temp file + rename so
 concurrent runners never observe a torn entry.
+
+The cache also keeps advisory lifetime hit/miss counters in a small
+``_usage.json`` sidecar (surfaced by ``repro cache info``).  The counters
+are best-effort bookkeeping only — a corrupt or missing sidecar never
+affects correctness, and :meth:`ResultCache.clear` resets it.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
 from pathlib import Path
@@ -89,12 +95,49 @@ class ResultCache:
         return sorted(self.directory.glob("*.pkl"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry (and the usage sidecar); returns entries removed."""
         removed = 0
         for path in self.entries():
             if self._discard(path):
                 removed += 1
+        self._discard(self._usage_path())
         return removed
+
+    # ------------------------------------------------------------------
+    def _usage_path(self) -> Path:
+        return self.directory / "_usage.json"
+
+    def record_usage(self, hits: int = 0, misses: int = 0) -> None:
+        """Fold a batch's lookup outcome into the lifetime counters.
+
+        Advisory only: any I/O or parse failure is swallowed, because the
+        sidecar must never be able to fail an actual campaign.
+        """
+        usage = self.usage_stats()
+        usage["hits"] += hits
+        usage["misses"] += misses
+        usage["batches"] += 1
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._usage_path()
+            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+            tmp.write_text(json.dumps(usage), encoding="utf-8")
+            tmp.replace(path)
+        except OSError:
+            pass
+
+    def usage_stats(self) -> dict[str, int]:
+        """Lifetime lookup counters: ``hits``, ``misses``, ``batches``."""
+        usage = {"hits": 0, "misses": 0, "batches": 0}
+        try:
+            raw = json.loads(self._usage_path().read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return usage
+        for key in usage:
+            value = raw.get(key) if isinstance(raw, dict) else None
+            if isinstance(value, int) and value >= 0:
+                usage[key] = value
+        return usage
 
     def stats(self) -> tuple[int, int]:
         """(entry count, total bytes) of the cache directory."""

@@ -1,0 +1,107 @@
+"""Structured campaign observability: JSONL event log + progress line.
+
+:class:`EventLog` appends one JSON object per line to a file as a
+campaign executes — job submission, start, finish (with per-job wall
+time), cache hits, retries, failures, and batch-level summaries with
+pool-utilization figures.  The log is append-only and flushed per event,
+so a killed campaign leaves a complete record of everything that
+happened before the kill; re-running appends a fresh batch to the same
+file.  Event timestamps carry both a monotonic offset from log creation
+(``t``, for intra-campaign intervals) and a wall-clock epoch (``ts``,
+for correlating with the outside world).
+
+:class:`ProgressLine` is the opt-in one-line ticker for ``--jobs N``
+sweeps: it rewrites a single stderr line as jobs complete, so report
+output on stdout stays byte-identical with or without it.
+
+Both are strictly additive: a :class:`~repro.runner.pool.BatchRunner`
+without them executes exactly the code it always did.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Any, TextIO
+
+
+class EventLog:
+    """Append-only JSONL event sink for runner campaigns.
+
+    Parameters
+    ----------
+    path:
+        File to append events to; parent directories are created.
+    """
+
+    def __init__(self, path: str | Path) -> None:
+        self.path = Path(path).expanduser()
+        if self.path.parent and not self.path.parent.is_dir():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = self.path.open("a", encoding="utf-8")
+        self._t0 = time.monotonic()  # noqa: REP001 - host wall timing, not simulated time
+        #: Events written through this log instance.
+        self.events_written = 0
+
+    def emit(self, event: str, **fields: Any) -> None:
+        """Append one event record (flushed immediately)."""
+        record: dict[str, Any] = {
+            "t": round(time.monotonic() - self._t0, 6),  # noqa: REP001 - host wall timing, not simulated time
+            "ts": round(time.time(), 3),  # noqa: REP001 - host wall timing, not simulated time
+            "event": event,
+        }
+        record.update(fields)
+        json.dump(record, self._handle, separators=(",", ":"))
+        self._handle.write("\n")
+        self._handle.flush()
+        self.events_written += 1
+
+    def close(self) -> None:
+        """Close the underlying file (further emits would fail)."""
+        self._handle.close()
+
+    def __enter__(self) -> "EventLog":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        self.close()
+
+
+class ProgressLine:
+    """Single rewritten stderr line tracking a batch's completion."""
+
+    def __init__(self, stream: TextIO | None = None) -> None:
+        self._stream = stream if stream is not None else sys.stderr
+        self._width = 0
+        self._active = False
+
+    def update(
+        self,
+        done: int,
+        total: int,
+        *,
+        cached: int = 0,
+        failed: int = 0,
+        retried: int = 0,
+    ) -> None:
+        """Rewrite the progress line with the latest counts."""
+        parts = [f"{cached} cached"]
+        if retried:
+            parts.append(f"{retried} retried")
+        if failed:
+            parts.append(f"{failed} failed")
+        line = f"[{done}/{total}] jobs done ({', '.join(parts)})"
+        padding = " " * max(0, self._width - len(line))
+        self._stream.write(f"\r{line}{padding}")
+        self._stream.flush()
+        self._width = len(line)
+        self._active = True
+
+    def finish(self) -> None:
+        """Terminate the line so later output starts cleanly."""
+        if self._active:
+            self._stream.write("\n")
+            self._stream.flush()
+            self._active = False

@@ -16,11 +16,18 @@ and returns their metrics *in submission order*:
 6. any job still failing raises one :class:`~repro.errors.RunnerError`
    summary.  Completed results were cached as they arrived, so a rerun
    repeats only the failures.
+
+Observability is opt-in per runner: pass ``events=EventLog(path)`` for a
+JSONL record of every submit/start/finish/retry (plus batch summaries
+with pool utilization computed from in-worker wall times), and
+``progress=True`` for a single rewritten stderr line during long sweeps.
+Neither changes results — stdout and metrics stay byte-identical.
 """
 
 from __future__ import annotations
 
 import os
+import time
 from collections.abc import Sequence
 from dataclasses import dataclass
 from pathlib import Path
@@ -28,6 +35,7 @@ from pathlib import Path
 from repro.core.metrics import RunMetrics
 from repro.errors import ReproError, RunnerError, UsageError
 from repro.runner.cache import ResultCache
+from repro.runner.events import EventLog, ProgressLine
 from repro.runner.job import Job
 
 #: Extra attempts granted to a crashed job before it is reported failed.
@@ -59,10 +67,16 @@ def _maybe_inject_fault() -> None:
         os._exit(17)
 
 
-def _pool_execute(job: Job) -> RunMetrics:
-    """Worker body; module-level so the pool can pickle it."""
+def _pool_execute(job: Job) -> tuple[RunMetrics, float]:
+    """Worker body; module-level so the pool can pickle it.
+
+    Returns the metrics plus the job's in-worker wall time, so the parent
+    can log per-job durations without conflating them with queueing.
+    """
     _maybe_inject_fault()
-    return job.execute()
+    start = time.perf_counter()  # noqa: REP001 - host wall timing, not simulated time
+    metrics = job.execute()
+    return metrics, time.perf_counter() - start  # noqa: REP001 - host wall timing, not simulated time
 
 
 @dataclass(frozen=True)
@@ -106,6 +120,8 @@ class BatchRunner:
         jobs: int | None = None,
         cache: ResultCache | None = None,
         retries: int = DEFAULT_RETRIES,
+        events: EventLog | None = None,
+        progress: bool = False,
     ) -> None:
         if jobs is None:
             jobs = os.cpu_count() or 1
@@ -116,10 +132,16 @@ class BatchRunner:
         self.jobs = jobs
         self.cache = cache
         self.retries = retries
+        #: Optional JSONL event sink (see :mod:`repro.runner.events`).
+        self.events = events
+        #: Opt-in stderr progress line for long sweeps.
+        self.progress = ProgressLine() if progress else None
         #: Counters for the most recent :meth:`run` call.
         self.last_stats = RunnerStats()
         #: Counters accumulated over every :meth:`run` call of this runner.
         self.total_stats = RunnerStats()
+        #: In-worker wall seconds summed over executed jobs (last run).
+        self.busy_seconds = 0.0
 
     @classmethod
     def serial(cls) -> "BatchRunner":
@@ -132,9 +154,11 @@ class BatchRunner:
         jobs = list(jobs)
         stats = RunnerStats(jobs=len(jobs))
         self.last_stats = stats
+        self.busy_seconds = 0.0
         if not jobs:
             return []
 
+        started = time.perf_counter()  # noqa: REP001 - host wall timing, not simulated time
         keys: list[str] = []
         unique: dict[str, Job] = {}
         for job in jobs:
@@ -145,14 +169,29 @@ class BatchRunner:
 
         results: dict[str, RunMetrics] = {}
         if self.cache is not None:
-            for key in unique:
+            for key, job in unique.items():
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[key] = hit
+                    self._emit("cache_hit", key=key, job=job.describe())
             stats.cache_hits = len(results)
 
         pending = {k: j for k, j in unique.items() if k not in results}
+        if self.cache is not None:
+            self.cache.record_usage(
+                hits=stats.cache_hits, misses=len(pending)
+            )
+        self._emit(
+            "batch_start",
+            jobs=len(jobs),
+            unique=stats.unique,
+            pending=len(pending),
+            cache_hits=stats.cache_hits,
+            workers=self.jobs,
+        )
         failures: dict[str, JobFailure] = {}
+        self._tick(stats, failures)
+        pending_count = len(pending)  # _run_pool consumes the dict
         if pending:
             if self.jobs == 1 or len(pending) == 1:
                 self._run_serial(pending, results, failures, stats)
@@ -161,6 +200,23 @@ class BatchRunner:
 
         stats.failed = len(failures)
         self.total_stats.add(stats)
+        wall = time.perf_counter() - started  # noqa: REP001 - host wall timing, not simulated time
+        workers = min(self.jobs, pending_count) if pending_count else 1
+        self._emit(
+            "batch_end",
+            executed=stats.executed,
+            cache_hits=stats.cache_hits,
+            retried=stats.retried,
+            failed=stats.failed,
+            wall_s=round(wall, 6),
+            busy_s=round(self.busy_seconds, 6),
+            workers=workers,
+            pool_utilization=round(
+                self.busy_seconds / (wall * workers), 4
+            ) if wall > 0 else 0.0,
+        )
+        if self.progress is not None:
+            self.progress.finish()
         if failures:
             ordered = [failures[k] for k in unique if k in failures]
             raise RunnerError(
@@ -171,6 +227,24 @@ class BatchRunner:
         return [results[key] for key in keys]
 
     # ------------------------------------------------------------------
+    def _emit(self, event: str, **fields) -> None:
+        """Forward one event to the attached log, if any."""
+        if self.events is not None:
+            self.events.emit(event, **fields)
+
+    def _tick(self, stats: RunnerStats, failures: dict) -> None:
+        """Refresh the progress line, if enabled."""
+        if self.progress is None:
+            return
+        failed = len(failures)
+        self.progress.update(
+            stats.cache_hits + stats.executed + failed,
+            stats.unique,
+            cached=stats.cache_hits,
+            failed=failed,
+            retried=stats.retried,
+        )
+
     def _record(
         self,
         key: str,
@@ -195,11 +269,20 @@ class BatchRunner:
             attempts = 0
             while True:
                 attempts += 1
+                self._emit(
+                    "job_start", key=key, job=job.describe(),
+                    attempt=attempts,
+                )
+                start = time.perf_counter()  # noqa: REP001 - host wall timing, not simulated time
                 try:
                     metrics = job.execute()
                 except ReproError as exc:
                     failures[key] = JobFailure(
                         job, attempts, f"{type(exc).__name__}: {exc}"
+                    )
+                    self._emit(
+                        "job_error", key=key, attempt=attempts,
+                        error=f"{type(exc).__name__}: {exc}", fatal=True,
                     )
                     break
                 except Exception as exc:  # unexpected: retry, then surface
@@ -207,11 +290,27 @@ class BatchRunner:
                         failures[key] = JobFailure(
                             job, attempts, f"{type(exc).__name__}: {exc}"
                         )
+                        self._emit(
+                            "job_error", key=key, attempt=attempts,
+                            error=f"{type(exc).__name__}: {exc}", fatal=True,
+                        )
                         break
                     stats.retried += 1
+                    self._emit(
+                        "job_retry", key=key, attempt=attempts,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
                 else:
+                    wall = time.perf_counter() - start  # noqa: REP001 - host wall timing, not simulated time
+                    self.busy_seconds += wall
                     self._record(key, metrics, results, stats)
+                    self._emit(
+                        "job_finish", key=key, attempt=attempts,
+                        wall_s=round(wall, 6),
+                        truncated=metrics.truncated,
+                    )
                     break
+            self._tick(stats, failures)
 
     def _run_pool(
         self,
@@ -241,11 +340,15 @@ class BatchRunner:
                 futures = {}
                 for key, job in round_jobs.items():
                     attempts[key] += 1
+                    self._emit(
+                        "job_start", key=key, job=job.describe(),
+                        attempt=attempts[key],
+                    )
                     futures[pool.submit(_pool_execute, job)] = key
                 for future in as_completed(futures):
                     key = futures[future]
                     try:
-                        metrics = future.result()
+                        metrics, wall = future.result()
                     except BrokenProcessPool:
                         crashed.append(key)
                     except ReproError as exc:
@@ -253,21 +356,42 @@ class BatchRunner:
                             round_jobs[key], attempts[key],
                             f"{type(exc).__name__}: {exc}",
                         )
+                        self._emit(
+                            "job_error", key=key, attempt=attempts[key],
+                            error=f"{type(exc).__name__}: {exc}", fatal=True,
+                        )
                         del pending[key]
                     except Exception as exc:  # worker died or pickling broke
                         crashed.append(key)
                         crash_errors[key] = f"{type(exc).__name__}: {exc}"
                     else:
+                        self.busy_seconds += wall
                         self._record(key, metrics, results, stats)
+                        self._emit(
+                            "job_finish", key=key, attempt=attempts[key],
+                            wall_s=round(wall, 6),
+                            truncated=metrics.truncated,
+                        )
                         del pending[key]
+                    self._tick(stats, failures)
             for key in crashed:
+                error = crash_errors.get(
+                    key, "worker crashed (process pool broken)"
+                )
                 if attempts[key] > self.retries:
                     failures[key] = JobFailure(
-                        round_jobs[key], attempts[key],
-                        crash_errors.get(
-                            key, "worker crashed (process pool broken)"
-                        ),
+                        round_jobs[key], attempts[key], error,
+                    )
+                    self._emit(
+                        "job_error", key=key, attempt=attempts[key],
+                        error=error, fatal=True,
                     )
                     del pending[key]
                 else:
                     stats.retried += 1
+                    self._emit(
+                        "job_retry", key=key, attempt=attempts[key],
+                        error=error,
+                    )
+            if crashed:
+                self._tick(stats, failures)

@@ -137,3 +137,26 @@ class Component:
     def sample_counters(self) -> Iterable[tuple[str, float]]:
         """``(name, cumulative value)`` monotone counters for delta series."""
         return ()
+
+    def sample_stalls(self) -> Iterable[tuple[str, int]]:
+        """``(cause, cumulative stall cycles)`` pairs for attribution.
+
+        Causes are stable string keys (the ``AccessResult`` stall values:
+        ``"stall_mshr_full"``, ``"stall_merge_full"``,
+        ``"stall_missq_full"``).  Like :meth:`sample_counters`, values are
+        cumulative and monotone; the attribution probe reports per-window
+        deltas.  Components without a stalling issue stage return nothing.
+        """
+        return ()
+
+    def inspect_cycle_classes(self) -> dict[str, int]:
+        """Exhaustive cycle-accounting partition for this component.
+
+        A component that classifies its cycles returns a mapping holding
+        the key ``"cycles"`` (its total stepped cycles) plus one entry per
+        accounting class.  The contract — enforced by the sanitizer and
+        the attribution tests — is *exact conservation*: the class counts
+        sum to ``cycles`` at every cycle boundary, with no overlap and no
+        gap.  The default (empty mapping) means "no accounting here".
+        """
+        return {}

@@ -16,13 +16,25 @@ instrument:
   Chrome trace-event JSON (one track per component, loadable in
   chrome://tracing or https://ui.perfetto.dev) and a per-hop latency
   histogram registry.
+* :class:`AttributionProbe` — top-down cycle accounting (every SM cycle
+  classified issue / issue-starved / no-ready-warp / drained with exact
+  conservation) plus per-window blame chains that walk downstream
+  occupancy evidence and charge each memory-pipeline stall cycle to the
+  deepest congested stage (DRAM, L2, interconnect, L1 or raw latency);
+  the measurement behind ``repro profile``.
 
-Both are strictly opt-in: with nothing attached the simulator executes
+All are strictly opt-in: with nothing attached the simulator executes
 exactly the same code it always did (the observer list is empty and the
 request factory keeps its original listener), so results are bit-identical
 to an uninstrumented run.
 """
 
+from repro.telemetry.attribution import (
+    BLAME_STAGES,
+    DEFAULT_BLAME_THRESHOLD,
+    AttributionProbe,
+    AttributionWindow,
+)
 from repro.telemetry.timeseries import (
     DEFAULT_MAX_WINDOWS,
     DEFAULT_WINDOW,
@@ -37,10 +49,14 @@ from repro.telemetry.tracer import (
 )
 
 __all__ = [
+    "BLAME_STAGES",
+    "DEFAULT_BLAME_THRESHOLD",
     "DEFAULT_MAX_WINDOWS",
     "DEFAULT_TRACE_LIMIT",
     "DEFAULT_TRACE_STRIDE",
     "DEFAULT_WINDOW",
+    "AttributionProbe",
+    "AttributionWindow",
     "RequestTracer",
     "TimeSeriesProbe",
     "WindowSample",

@@ -121,6 +121,40 @@ class TestTelemetryCommands:
         assert "Cycle-windowed telemetry" in out
         assert "dram bus util" in out
 
+    def test_profile(self, capsys, tmp_path):
+        target = tmp_path / "profile.json"
+        assert main([
+            "profile", "sc", "--config", "tiny", "--scale", "0.1",
+            "--json", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Top-down cycle accounting" in out
+        assert "conserved=true" in out
+        document = json.loads(target.read_text())
+        assert document["benchmark"] == "sc"
+        assert sum(document["classes"].values()) == document["sm_cycles"]
+
+    def test_profile_diff(self, capsys, tmp_path):
+        target = tmp_path / "diff.json"
+        assert main([
+            "profile", "sc", "--config", "tiny", "--scale", "0.1",
+            "--diff", "baseline", "l2", "--json", str(target),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "Profile diff" in out
+        assert "speedup" in out
+        document = json.loads(target.read_text())
+        assert document["a"]["config"] == "baseline"
+        assert document["b"]["config"] == "l2"
+        assert "classes_reclaimed" in document
+
+    def test_profile_unknown_label_exits_2(self, capsys):
+        assert main([
+            "profile", "sc", "--config", "tiny", "--scale", "0.1",
+            "--config-label", "turbo",
+        ]) == 2
+        assert "turbo" in capsys.readouterr().err
+
     def test_trace_writes_chrome_trace(self, capsys, tmp_path):
         target = tmp_path / "trace.json"
         assert main([

@@ -1,6 +1,10 @@
-"""Batch runner tests: jobs, cache, pool determinism, retry, CLI wiring."""
+"""Batch runner tests: jobs, cache, pool determinism, retry, CLI wiring,
+and the opt-in observability layer (JSONL event log, progress line,
+cache hit-rate statistics)."""
 
 import dataclasses
+import io
+import json
 import pickle
 
 import pytest
@@ -8,7 +12,14 @@ import pytest
 from repro.core.metrics import RunMetrics
 from repro.cli import main
 from repro.errors import ConfigError, RunnerError, UsageError
-from repro.runner import BatchRunner, Job, ResultCache, code_version
+from repro.runner import (
+    BatchRunner,
+    EventLog,
+    Job,
+    ProgressLine,
+    ResultCache,
+    code_version,
+)
 from repro.runner.cache import CACHE_FORMAT
 from repro.runner.pool import FAULT_ENV
 from repro.sim.config import tiny_gpu
@@ -265,6 +276,172 @@ class TestBatchRunnerPool:
         assert runner.last_stats.executed == 1
 
 
+def _read_events(path):
+    return [json.loads(line) for line in path.read_text().splitlines()]
+
+
+class TestEventLog:
+    def test_records_are_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "log" / "events.jsonl"  # parent dir is created
+        with EventLog(path) as log:
+            log.emit("alpha", value=1)
+            log.emit("beta", nested={"x": [1, 2]})
+        events = _read_events(path)
+        assert [e["event"] for e in events] == ["alpha", "beta"]
+        assert events[0]["value"] == 1
+        assert events[1]["nested"] == {"x": [1, 2]}
+        for event in events:
+            assert event["t"] >= 0.0  # monotonic offset from log creation
+            assert event["ts"] > 0.0  # wall-clock epoch
+        assert log.events_written == 2
+
+    def test_append_only_across_instances(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with EventLog(path) as log:
+            log.emit("first")
+        with EventLog(path) as log:
+            log.emit("second")
+        assert [e["event"] for e in _read_events(path)] == ["first", "second"]
+
+    def test_serial_run_emits_lifecycle_events(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        runner = BatchRunner(jobs=1, events=log)
+        runner.run([_job()])
+        log.close()
+        names = [e["event"] for e in _read_events(log.path)]
+        assert names[0] == "batch_start"
+        assert names[-1] == "batch_end"
+        assert "job_start" in names
+        assert "job_finish" in names
+
+    def test_job_finish_carries_wall_time(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        BatchRunner(jobs=1, events=log).run([_job()])
+        log.close()
+        finish = [
+            e for e in _read_events(log.path) if e["event"] == "job_finish"]
+        assert len(finish) == 1
+        assert finish[0]["wall_s"] > 0.0
+        assert finish[0]["truncated"] is False
+        assert finish[0]["attempt"] == 1
+
+    def test_cache_hits_are_logged(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        BatchRunner(jobs=1, cache=cache).run([_job()])
+        log = EventLog(tmp_path / "events.jsonl")
+        BatchRunner(jobs=1, cache=cache, events=log).run([_job()])
+        log.close()
+        events = _read_events(log.path)
+        hits = [e for e in events if e["event"] == "cache_hit"]
+        assert len(hits) == 1
+        assert "nn(seed=1" in hits[0]["job"]
+        batch_end = [e for e in events if e["event"] == "batch_end"][0]
+        assert batch_end["cache_hits"] == 1
+        assert batch_end["executed"] == 0
+
+    def test_retries_and_fatal_errors_are_logged(self, tmp_path, monkeypatch):
+        attempts = []
+        original = Job.execute
+
+        def flaky(self):
+            attempts.append(1)
+            if len(attempts) < 2:
+                raise ValueError("transient")  # noqa: REP003 - deliberately a non-ReproError to exercise retry
+            return original(self)
+
+        monkeypatch.setattr(Job, "execute", flaky)
+        log = EventLog(tmp_path / "events.jsonl")
+        BatchRunner(jobs=1, retries=2, events=log).run([_job()])
+        log.close()
+        events = _read_events(log.path)
+        retry = [e for e in events if e["event"] == "job_retry"]
+        assert len(retry) == 1
+        assert "transient" in retry[0]["error"]
+
+        monkeypatch.setattr(
+            Job, "execute",
+            lambda self: (_ for _ in ()).throw(ConfigError("frozen")))
+        log = EventLog(tmp_path / "fatal.jsonl")
+        with pytest.raises(RunnerError):
+            BatchRunner(jobs=1, events=log).run([_job()])
+        log.close()
+        errors = [
+            e for e in _read_events(log.path) if e["event"] == "job_error"]
+        assert len(errors) == 1
+        assert errors[0]["fatal"] is True
+
+    def test_pool_run_emits_events_and_utilization(self, tmp_path):
+        log = EventLog(tmp_path / "events.jsonl")
+        runner = BatchRunner(jobs=2, events=log)
+        runner.run([_job(seed=s) for s in (1, 2)])
+        log.close()
+        events = _read_events(log.path)
+        assert sum(1 for e in events if e["event"] == "job_finish") == 2
+        batch_end = [e for e in events if e["event"] == "batch_end"][0]
+        assert batch_end["workers"] == 2
+        assert batch_end["busy_s"] > 0.0
+        assert 0.0 <= batch_end["pool_utilization"] <= 1.0
+
+    def test_events_never_reach_stdout(self, tmp_path, capsys):
+        log = EventLog(tmp_path / "events.jsonl")
+        BatchRunner(jobs=1, events=log).run([_job()])
+        log.close()
+        captured = capsys.readouterr()
+        assert captured.out == ""
+
+
+class TestProgressLine:
+    def test_rewrites_one_line(self):
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream)
+        line.update(1, 3)
+        line.update(3, 3, cached=1, retried=2, failed=1)
+        line.finish()
+        text = stream.getvalue()
+        assert text.startswith("\r[1/3] jobs done")
+        assert "[3/3] jobs done (1 cached, 2 retried, 1 failed)" in text
+        assert text.endswith("\n")
+
+    def test_finish_without_updates_is_silent(self):
+        stream = io.StringIO()
+        ProgressLine(stream=stream).finish()
+        assert stream.getvalue() == ""
+
+    def test_runner_progress_leaves_stdout_untouched(self, capsys):
+        runner = BatchRunner(jobs=1, progress=True)
+        runner.run([_job()])
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "[1/1] jobs done" in captured.err
+
+
+class TestCacheUsageStats:
+    def test_usage_counters_accumulate(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        BatchRunner(jobs=1, cache=cache).run([_job()])
+        BatchRunner(jobs=1, cache=cache).run([_job()])
+        assert cache.usage_stats() == {"hits": 1, "misses": 1, "batches": 2}
+
+    def test_usage_file_is_not_a_cache_entry(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        BatchRunner(jobs=1, cache=cache).run([_job()])
+        assert cache.stats()[0] == 1  # the sidecar is not counted
+
+    def test_clear_resets_usage(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        BatchRunner(jobs=1, cache=cache).run([_job()])
+        cache.clear()
+        assert cache.usage_stats() == {"hits": 0, "misses": 0, "batches": 0}
+
+    def test_corrupt_sidecar_is_a_fresh_start(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.directory.mkdir(parents=True)
+        (cache.directory / "_usage.json").write_text("not json{")
+        assert cache.usage_stats() == {"hits": 0, "misses": 0, "batches": 0}
+        cache.record_usage(hits=2, misses=1)
+        assert cache.usage_stats() == {"hits": 2, "misses": 1, "batches": 1}
+
+
 class TestCLI:
     PROFILE_ARGS = [
         "latency-profile", "--config", "tiny", "--scale", "0.1",
@@ -303,6 +480,32 @@ class TestCLI:
         assert "removed 1" in capsys.readouterr().out
         assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
         assert "0 entries" in capsys.readouterr().out
+
+    def test_events_and_progress_flags(self, capsys, tmp_path):
+        events = tmp_path / "events.jsonl"
+        assert main([
+            "congestion", "--config", "tiny", "--scale", "0.1",
+            "--benchmarks", "nn", "sc", "--jobs", "2",
+            "--events", str(events), "--progress",
+        ]) == 0
+        captured = capsys.readouterr()
+        names = [e["event"] for e in _read_events(events)]
+        assert "batch_start" in names and "batch_end" in names
+        assert names.count("job_finish") == 2
+        assert "[2/2] jobs done" in captured.err
+        assert "jobs done" not in captured.out  # stdout stays a pure report
+
+    def test_cache_info_reports_hit_rate(self, capsys, tmp_path):
+        cache_dir = tmp_path / "cli-cache"
+        args = ["run", "nn", "--config", "tiny", "--scale", "0.1",
+                "--cache-dir", str(cache_dir)]
+        assert main(args) == 0
+        assert main(args) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(cache_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "50.0% hit rate" in out
+        assert "2 batches" in out
 
     def test_no_cache_flag_bypasses_store(self, capsys, tmp_path):
         cache_dir = tmp_path / "cli-cache"
