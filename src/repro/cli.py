@@ -18,6 +18,9 @@ Every experiment in the paper can be regenerated from the shell::
     repro export out.csv            # dump suite metrics as CSV
     repro export out.json --format json  # ... or nested JSON
     repro validate                  # evaluate every claim of the paper
+    repro campaign run DIR --configs baseline l2 --seeds 1 2  # sharded sweep
+    repro campaign status DIR       # done/failed/claimed/pending + workers
+    repro campaign resume DIR       # pick up a killed campaign, no rework
 
 All experiment commands accept ``--scale`` (iteration scale, default 1.0;
 smaller is faster), ``--config`` (small / fermi / tiny) and ``--seed``.
@@ -26,10 +29,19 @@ Batch commands (``run``, ``congestion``, ``latency-profile``, ``explore``,
 ``replicate``, ``export``) additionally accept ``--jobs N`` (process-pool
 fan-out; ``--jobs 1`` stays in-process), ``--no-cache`` and ``--cache-dir``.
 Results are cached on disk keyed by config + kernel + seed + code version;
-``repro cache info`` / ``repro cache clear`` manage the store (``info``
-also reports lifetime hit-rate statistics).  Report output on stdout is
-byte-identical whatever the parallelism or cache state — cache notes and
-truncation warnings go to stderr.
+``repro cache info`` / ``repro cache clear`` / ``repro cache evict``
+manage the store (``info`` also reports lifetime hit-rate statistics and
+orphaned temp files).  Report output on stdout is byte-identical whatever
+the parallelism or cache state — cache notes and truncation warnings go
+to stderr.
+
+``repro campaign run|status|resume`` shards a sweep (Section IV config
+labels x benchmarks x seeds) into a persistent campaign directory that
+any number of worker processes execute cooperatively: work units are
+claimed through atomic claim files (stale claims of dead workers are
+taken over after a heartbeat timeout), results land in one shared store,
+and a killed campaign resumes from exactly what is done.  The merged
+export (``--out``) is byte-identical to running the same sweep serially.
 
 Observability: ``repro run --timeline`` attaches the
 :class:`repro.telemetry.TimeSeriesProbe` and renders cycle-windowed IPC /
@@ -55,6 +67,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from collections.abc import Sequence
 
@@ -71,8 +84,8 @@ from repro.core.metrics import run_kernel
 from repro.core.profile import config_for_label, profile_diff, profile_kernel
 from repro.core.replication import replicate
 from repro.core.validation import validate_reproduction
-from repro.core.export import metrics_to_csv, metrics_to_json, write_text
-from repro.errors import ReproError
+from repro.core.export import export_runs, write_text
+from repro.errors import ReproError, UsageError
 from repro.core.report import (
     render_congestion,
     render_figure1,
@@ -82,7 +95,22 @@ from repro.core.report import (
     render_timeline,
 )
 from repro.core.synergy import analyze_synergy
-from repro.runner import BatchRunner, EventLog, Job, ResultCache
+from repro.runner import (
+    BatchRunner,
+    CampaignManifest,
+    CampaignWorker,
+    EventLog,
+    Job,
+    ResultCache,
+    campaign_results,
+    campaign_status,
+    render_status,
+)
+from repro.runner.campaign import (
+    DEFAULT_POLL,
+    DEFAULT_STALE_AFTER,
+    default_store,
+)
 from repro.sim.config import GPUConfig, fermi_gtx480, small_gpu, tiny_gpu
 from repro.utils.tables import render_table
 from repro.workloads.suite import PAPER_SUITE, SPECS, get_benchmark
@@ -404,11 +432,7 @@ def _cmd_export(args: argparse.Namespace) -> int:
         Job(config, name, seed=args.seed, iteration_scale=args.scale)
         for name in args.benchmarks
     ])
-    if args.format == "json":
-        text = metrics_to_json(runs)
-    else:
-        text = metrics_to_csv(runs)
-    path = write_text(args.output, text)
+    path = export_runs(runs, args.output, args.format)
     print(f"wrote {len(runs)} runs to {path} ({args.format})")
     _note_batch(runner, runs)
     return 0
@@ -417,11 +441,29 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ResultCache(args.cache_dir)
     if args.action == "clear":
+        orphans = len(cache.orphan_temps())
         removed = cache.clear()
-        print(f"removed {removed} cached result(s) from {cache.directory}")
+        note = f" (swept {orphans} orphaned temp file(s))" if orphans else ""
+        print(
+            f"removed {removed} cached result(s) from {cache.directory}{note}"
+        )
+    elif args.action == "evict":
+        if args.max_bytes is None:
+            raise UsageError("cache evict requires --max-bytes")
+        evicted = cache.evict(args.max_bytes)
+        count, size, _ = cache.stats()
+        print(
+            f"evicted {len(evicted)} entr(ies); cache {cache.directory}: "
+            f"{count} entries, {size} bytes"
+        )
     else:
-        count, size = cache.stats()
+        count, size, orphans = cache.stats()
         print(f"cache {cache.directory}: {count} entries, {size} bytes")
+        if orphans:
+            print(
+                f"warning: {orphans} orphaned temp file(s) from killed "
+                "writers (cache clear sweeps them)"
+            )
         usage = cache.usage_stats()
         lookups = usage["hits"] + usage["misses"]
         if lookups:
@@ -432,6 +474,89 @@ def _cmd_cache(args: argparse.Namespace) -> int:
                 f"{usage['batches']} batches)"
             )
     return 0
+
+
+def _campaign_store(args: argparse.Namespace) -> ResultCache:
+    """The campaign's shared store (default: ``<dir>/store``)."""
+    if args.cache_dir:
+        return ResultCache(
+            args.cache_dir, max_bytes=getattr(args, "store_max_bytes", None))
+    return default_store(
+        args.directory, max_bytes=getattr(args, "store_max_bytes", None))
+
+
+def _campaign_jobs(args: argparse.Namespace) -> list[Job]:
+    """The sweep matrix: Section IV config labels x benchmarks x seeds."""
+    base = _CONFIGS[args.config]()
+    return [
+        Job(config_for_label(base, label), name, seed=seed,
+            iteration_scale=args.scale)
+        for label in args.configs
+        for name in args.benchmarks
+        for seed in args.seeds
+    ]
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    store = _campaign_store(args)
+    if args.action == "status":
+        print(render_status(campaign_status(args.directory, cache=store)))
+        return 0
+
+    if args.action == "run":
+        jobs = _campaign_jobs(args)
+
+        def _verify_join() -> None:
+            # Joining an existing campaign: the requested sweep must be
+            # the same work list, otherwise results would not line up.
+            manifest = CampaignManifest.load(args.directory)
+            requested: list[str] = []
+            seen: set[str] = set()
+            for job in jobs:
+                key = job.key()
+                if key not in seen:
+                    seen.add(key)
+                    requested.append(key)
+            if manifest.keys() != requested:
+                raise UsageError(
+                    f"campaign at {args.directory} exists with a different "
+                    "work list; resume it without sweep flags, or use a "
+                    "fresh directory"
+                )
+
+        if CampaignManifest.path_for(args.directory).exists():
+            _verify_join()
+        else:
+            try:
+                CampaignManifest.create(args.directory, jobs)
+            except UsageError:
+                # Lost the creation race to a concurrently started
+                # worker: join its manifest instead of bailing out.
+                if not CampaignManifest.path_for(args.directory).exists():
+                    raise
+                _verify_join()
+
+    worker = CampaignWorker(
+        args.directory,
+        worker=args.worker,
+        jobs=args.jobs,
+        cache=store,
+        stale_after=args.stale_after,
+        poll=args.poll,
+        retry_failed=getattr(args, "retry_failed", False),
+    )
+    report = worker.run(wait=not args.no_wait)
+    status = campaign_status(args.directory, cache=store)
+    print(
+        f"worker {worker.worker}: executed {report.executed}, "
+        f"failed {report.failed} "
+        f"({report.skipped_done} already done)", file=sys.stderr)
+    print(render_status(status))
+    if args.out and status.done == status.total:
+        results = campaign_results(args.directory, cache=store)
+        path = export_runs(results, args.out, args.format)
+        print(f"wrote {len(results)} runs to {path} ({args.format})")
+    return 0 if status.done == status.total else 1
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -612,16 +737,107 @@ def build_parser() -> argparse.ArgumentParser:
     validate.set_defaults(func=_cmd_validate)
 
     cache = sub.add_parser(
-        "cache", help="inspect or clear the on-disk result cache")
+        "cache", help="inspect, clear or size-bound the on-disk result cache")
     cache.add_argument(
-        "action", choices=["info", "clear"],
-        help="info: entry count, size and lifetime hit rate; clear: "
-             "delete every entry")
+        "action", choices=["info", "clear", "evict"],
+        help="info: entry count, size, orphans and lifetime hit rate; "
+             "clear: delete every entry (sweeping orphaned temp files); "
+             "evict: drop least-recently-used entries past --max-bytes")
     cache.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result cache directory (default: $REPRO_CACHE_DIR or "
              "~/.cache/repro)")
+    cache.add_argument(
+        "--max-bytes", type=int, default=None, metavar="N",
+        help="size bound for the evict action")
     cache.set_defaults(func=_cmd_cache)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="distributed, resumable sweep campaigns over a shared "
+             "result store")
+    csub = campaign.add_subparsers(dest="action", required=True)
+
+    def _add_campaign_worker(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument("directory", help="campaign directory")
+        parser.add_argument(
+            "--jobs", type=int, default=None, metavar="N",
+            help="worker processes for this worker's batches (default: "
+                 "all CPUs)")
+        parser.add_argument(
+            "--worker", default=None, metavar="NAME",
+            help="worker name for claims/ledger/event log (default: "
+                 "worker-<pid>)")
+        parser.add_argument(
+            "--stale-after", type=float, default=DEFAULT_STALE_AFTER,
+            metavar="SECONDS",
+            help="take over a claim whose heartbeat is older than this "
+                 f"(default: {DEFAULT_STALE_AFTER:.0f}s)")
+        parser.add_argument(
+            "--poll", type=float, default=DEFAULT_POLL, metavar="SECONDS",
+            help="poll interval while other workers hold the remaining "
+                 f"units (default: {DEFAULT_POLL}s)")
+        parser.add_argument(
+            "--no-wait", action="store_true",
+            help="return when nothing is claimable instead of waiting "
+                 "for other workers' units to settle")
+        parser.add_argument(
+            "--cache-dir", default=None, metavar="DIR",
+            help="shared result store (default: <directory>/store)")
+        parser.add_argument(
+            "--store-max-bytes", type=int, default=None, metavar="N",
+            help="size-bound the shared store: LRU-evict entries past N "
+                 "bytes after each write")
+        parser.add_argument(
+            "--out", default=None, metavar="PATH",
+            help="export the merged results here once every unit is done")
+        parser.add_argument(
+            "--format", choices=["csv", "json"], default="csv",
+            help="export format for --out (default: csv)")
+
+    crun = csub.add_parser(
+        "run",
+        help="create the campaign manifest (config labels x benchmarks x "
+             "seeds) if absent, then work it; rerunning the same command "
+             "joins as another worker")
+    crun.add_argument(
+        "--config", choices=sorted(_CONFIGS), default="small",
+        help="architecture configuration (default: small)")
+    crun.add_argument(
+        "--scale", type=float, default=1.0,
+        help="benchmark iteration scale (default: 1.0)")
+    crun.add_argument(
+        "--benchmarks", nargs="*", default=list(PAPER_SUITE),
+        metavar="NAME", help="benchmarks in the sweep (default: the suite)")
+    crun.add_argument(
+        "--seeds", nargs="*", type=int, default=[1], metavar="SEED",
+        help="seeds in the sweep (default: 1)")
+    crun.add_argument(
+        "--configs", nargs="*", default=["baseline"], metavar="LABEL",
+        help="Section IV scaling labels in the sweep (baseline, l1, l2, "
+             "dram, l1+l2, l2+dram; default: baseline)")
+    _add_campaign_worker(crun)
+    crun.set_defaults(func=_cmd_campaign)
+
+    cresume = csub.add_parser(
+        "resume",
+        help="work an existing campaign: completed units are never "
+             "re-simulated, stale claims are taken over")
+    cresume.add_argument(
+        "--retry-failed", action="store_true",
+        help="re-attempt units whose latest ledger record is a failure")
+    _add_campaign_worker(cresume)
+    cresume.set_defaults(func=_cmd_campaign)
+
+    cstatus = csub.add_parser(
+        "status",
+        help="merged campaign view: unit counts, per-worker event-log "
+             "summaries, live claims")
+    cstatus.add_argument("directory", help="campaign directory")
+    cstatus.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="shared result store (default: <directory>/store)")
+    cstatus.set_defaults(func=_cmd_campaign)
     return parser
 
 
@@ -629,6 +845,13 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (`... | head`, `... | grep -q`) closed the
+        # pipe: the conventional quiet exit, not a traceback.  Detach
+        # stdout so interpreter shutdown does not re-raise on flush.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
     except ReproError as exc:
         # One line per error (multi-line diagnostics are indented under
         # it) instead of a traceback; exit code 2 distinguishes simulator

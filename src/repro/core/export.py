@@ -19,14 +19,18 @@ import json
 from collections.abc import Sequence
 from typing import Any
 
+from pathlib import Path
+
 from repro.core.explorer import ExplorationResult
 from repro.core.latency_profile import LatencyProfile
 from repro.core.metrics import STALL_CAUSE_KEYS, QueueMetrics, RunMetrics
+from repro.errors import UsageError
 from repro.utils.export import write_text
 
 __all__ = [
     "exploration_to_dict",
     "exploration_to_json",
+    "export_runs",
     "metrics_to_csv",
     "metrics_to_dict",
     "metrics_to_json",
@@ -34,6 +38,26 @@ __all__ = [
     "profile_to_csv",
     "write_text",
 ]
+
+
+def export_runs(
+    runs: Sequence[RunMetrics], output: str | Path, fmt: str = "csv"
+) -> Path:
+    """Write ``runs`` to ``output`` in the stable export schema.
+
+    One entry point for every run-sequence export surface (``repro
+    export``, campaign exports), so they stay byte-compatible: ``csv``
+    is the flat :func:`metrics_to_dict` column schema, ``json`` the
+    nested :func:`metrics_to_nested_dict` document.  Returns the path
+    written.
+    """
+    if fmt == "json":
+        text = metrics_to_json(runs)
+    elif fmt == "csv":
+        text = metrics_to_csv(runs)
+    else:
+        raise UsageError(f"unknown export format {fmt!r}; use csv or json")
+    return write_text(output, text)
 
 
 def metrics_to_dict(metrics: RunMetrics) -> dict[str, Any]:

@@ -28,16 +28,36 @@ hit, retry, batch summaries with pool utilization) and a
 :class:`ProgressLine` tickers long ``--jobs N`` sweeps on stderr; the
 cache additionally keeps advisory hit/miss statistics readable through
 ``repro cache info``.
+
+Sweeps too big for one process become *campaigns*
+(:mod:`repro.runner.campaign`): a persistent manifest of content-
+addressed work units that independent worker processes claim via atomic
+claim files, execute through their own :class:`BatchRunner` into one
+shared :class:`ResultCache`, and record in an append-only completion
+ledger — killed campaigns resume from exactly what is done, and results
+export byte-identically to a serial run.  ``repro campaign
+run|status|resume`` is the CLI surface.
 """
 
 from repro.runner.job import Job, code_version
-from repro.runner.cache import ResultCache, default_cache_dir
+from repro.runner.cache import CacheStats, ResultCache, default_cache_dir
 from repro.runner.events import EventLog, ProgressLine
 from repro.runner.pool import DEFAULT_RETRIES, BatchRunner, JobFailure, RunnerStats
+from repro.runner.campaign import (
+    CampaignManifest,
+    CampaignStatus,
+    CampaignWorker,
+    WorkUnit,
+    WorkerReport,
+    campaign_results,
+    campaign_status,
+    render_status,
+)
 
 __all__ = [
     "Job",
     "code_version",
+    "CacheStats",
     "ResultCache",
     "default_cache_dir",
     "BatchRunner",
@@ -46,4 +66,12 @@ __all__ = [
     "ProgressLine",
     "RunnerStats",
     "DEFAULT_RETRIES",
+    "CampaignManifest",
+    "CampaignStatus",
+    "CampaignWorker",
+    "WorkUnit",
+    "WorkerReport",
+    "campaign_results",
+    "campaign_status",
+    "render_status",
 ]

@@ -7,14 +7,30 @@ config, the run parameters and the package's code digest, so lookups are
 exact: a hit is byte-for-byte the metrics a fresh run would produce, and
 any config or code change misses cleanly.
 
-Entries that fail to unpickle (interrupted writes, stale formats) are
-deleted and treated as misses; writes go through a temp file + rename so
-concurrent runners never observe a torn entry.
+The cache is safe to share between concurrent worker processes — it is
+the artifact store distributed campaigns (:mod:`repro.runner.campaign`)
+are built on:
 
-The cache also keeps advisory lifetime hit/miss counters in a small
-``_usage.json`` sidecar (surfaced by ``repro cache info``).  The counters
-are best-effort bookkeeping only — a corrupt or missing sidecar never
-affects correctness, and :meth:`ResultCache.clear` resets it.
+* Entry writes go through a temp file + atomic rename, so readers never
+  observe a torn entry; entries that still fail to unpickle (stale
+  formats, partial disk writes) are deleted and treated as misses.
+* A process that dies between write and rename leaves a ``*.tmp<pid>``
+  orphan behind.  :meth:`ResultCache.stats` counts such orphans and
+  :meth:`ResultCache.clear` sweeps them.
+* Usage counters (``hits`` / ``misses`` / ``batches``) are recorded as
+  per-batch *delta* records appended with ``O_APPEND`` to a
+  ``_usage_deltas.jsonl`` sidecar — a single appended line per batch, so
+  concurrent runners never lose each other's read-modify-write the way a
+  shared ``_usage.json`` rewrite would.  :meth:`usage_stats` folds the
+  deltas (plus a legacy ``_usage.json`` base, if present).  The counters
+  stay advisory: a corrupt or missing sidecar never affects correctness,
+  and :meth:`ResultCache.clear` resets them.
+* Every :meth:`put` appends a record to an ``_index.jsonl`` sidecar
+  (key, payload size, store timestamp); :meth:`index` folds it against
+  the directory.  With ``max_bytes`` set the store is size-bounded:
+  :meth:`put` evicts least-recently-used entries (file mtime — refreshed
+  on every :meth:`get` hit) until the store fits, never evicting the
+  entry just written.
 """
 
 from __future__ import annotations
@@ -22,7 +38,9 @@ from __future__ import annotations
 import json
 import os
 import pickle
+import time
 from pathlib import Path
+from typing import Any, NamedTuple
 
 from repro.core.metrics import RunMetrics
 
@@ -31,6 +49,11 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
 #: Bumped when the on-disk payload layout changes.
 CACHE_FORMAT = 1
+
+#: Sidecar files (never counted as cache entries).
+USAGE_NAME = "_usage.json"
+USAGE_DELTAS_NAME = "_usage_deltas.jsonl"
+INDEX_NAME = "_index.jsonl"
 
 
 def default_cache_dir() -> Path:
@@ -41,13 +64,63 @@ def default_cache_dir() -> Path:
     return Path("~/.cache/repro").expanduser()
 
 
-class ResultCache:
-    """Maps job keys to pickled :class:`~repro.core.metrics.RunMetrics`."""
+class CacheStats(NamedTuple):
+    """What :meth:`ResultCache.stats` sees on disk."""
 
-    def __init__(self, directory: str | Path | None = None) -> None:
+    entries: int
+    total_bytes: int
+    #: ``*.tmp<pid>`` files orphaned by a process that died mid-write.
+    orphans: int
+
+
+def _append_jsonl(path: Path, record: dict) -> None:
+    """Append one JSON line with a single ``O_APPEND`` write.
+
+    POSIX guarantees the append offset per write; emitting the whole line
+    in one short write keeps concurrent appenders from interleaving, so
+    this is the multi-process-safe primitive every sidecar uses.
+    """
+    data = (json.dumps(record, separators=(",", ":")) + "\n").encode("utf-8")
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, data)
+    finally:
+        os.close(fd)
+
+
+def _read_jsonl(path: Path) -> list[dict]:
+    """Parse a JSONL sidecar, skipping torn or corrupt lines."""
+    records: list[dict] = []
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError:
+        return records
+    for line in text.splitlines():
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue  # torn final line from a killed writer
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+class ResultCache:
+    """Maps job keys to pickled :class:`~repro.core.metrics.RunMetrics`.
+
+    ``max_bytes`` (optional) size-bounds the store: every :meth:`put`
+    evicts least-recently-used entries until the total fits.
+    """
+
+    def __init__(
+        self,
+        directory: str | Path | None = None,
+        max_bytes: int | None = None,
+    ) -> None:
         self.directory = (
             Path(directory).expanduser() if directory else default_cache_dir()
         )
+        self.max_bytes = max_bytes
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -72,7 +145,15 @@ class ResultCache:
         ):
             self._discard(path)
             return None
+        try:
+            os.utime(path)  # refresh LRU recency
+        except OSError:
+            pass
         return payload["metrics"]
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry file exists for ``key`` (no unpickle check)."""
+        return self._path(key).is_file()
 
     def put(self, key: str, metrics: RunMetrics) -> None:
         """Store ``metrics`` under ``key`` (atomic replace)."""
@@ -85,7 +166,17 @@ class ResultCache:
                 handle,
                 protocol=pickle.HIGHEST_PROTOCOL,
             )
+        size = tmp.stat().st_size
         tmp.replace(path)
+        try:
+            _append_jsonl(
+                self.directory / INDEX_NAME,
+                {"key": key, "bytes": size, "ts": round(time.time(), 3)},  # noqa: REP001 - store bookkeeping, not simulated time
+            )
+        except OSError:
+            pass  # the index is advisory; the entry itself landed
+        if self.max_bytes is not None:
+            self.evict(self.max_bytes, protect=key)
 
     # ------------------------------------------------------------------
     def entries(self) -> list[Path]:
@@ -94,53 +185,125 @@ class ResultCache:
             return []
         return sorted(self.directory.glob("*.pkl"))
 
+    def orphan_temps(self) -> list[Path]:
+        """``*.tmp<pid>`` files left by processes killed mid-write."""
+        if not self.directory.is_dir():
+            return []
+        return sorted(
+            path for path in self.directory.glob("*.tmp*")
+            if not path.name.endswith(".pkl")
+        )
+
     def clear(self) -> int:
-        """Delete every entry (and the usage sidecar); returns entries removed."""
+        """Delete every entry, orphaned temp file and usage/index sidecar.
+
+        Returns the number of *entries* removed (orphans and sidecars are
+        swept but not counted, matching what ``cache info`` reports).
+        """
         removed = 0
         for path in self.entries():
             if self._discard(path):
                 removed += 1
-        self._discard(self._usage_path())
+        for path in self.orphan_temps():
+            self._discard(path)
+        for name in (USAGE_NAME, USAGE_DELTAS_NAME, INDEX_NAME):
+            self._discard(self.directory / name)
         return removed
 
-    # ------------------------------------------------------------------
-    def _usage_path(self) -> Path:
-        return self.directory / "_usage.json"
+    def index(self) -> dict[str, dict[str, Any]]:
+        """Fold ``_index.jsonl`` against the directory: key -> metadata.
 
-    def record_usage(self, hits: int = 0, misses: int = 0) -> None:
-        """Fold a batch's lookup outcome into the lifetime counters.
-
-        Advisory only: any I/O or parse failure is swallowed, because the
-        sidecar must never be able to fail an actual campaign.
+        Keys whose entry file has vanished (evicted, cleared, discarded
+        as corrupt) are dropped; the newest record per key wins.
         """
-        usage = self.usage_stats()
-        usage["hits"] += hits
-        usage["misses"] += misses
-        usage["batches"] += 1
+        folded: dict[str, dict[str, Any]] = {}
+        for record in _read_jsonl(self.directory / INDEX_NAME):
+            key = record.get("key")
+            if isinstance(key, str):
+                folded[key] = {
+                    "bytes": record.get("bytes"), "ts": record.get("ts")
+                }
+        return {
+            key: meta for key, meta in folded.items()
+            if self.contains(key)
+        }
+
+    def evict(self, max_bytes: int, protect: str | None = None) -> list[str]:
+        """Delete least-recently-used entries until the store fits.
+
+        Recency is the entry file's mtime (refreshed by :meth:`get`
+        hits).  ``protect`` names one key never evicted — :meth:`put`
+        passes the key it just wrote, so a single oversized entry is
+        stored rather than thrashed.  Returns the evicted keys.
+        """
+        aged: list[tuple[float, int, Path]] = []
+        total = 0
+        for path in self.entries():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            total += stat.st_size
+            aged.append((stat.st_mtime, stat.st_size, path))
+        evicted: list[str] = []
+        aged.sort(key=lambda item: (item[0], item[2].name))
+        for mtime, size, path in aged:
+            if total <= max_bytes:
+                break
+            key = path.name[: -len(".pkl")]
+            if key == protect:
+                continue
+            if self._discard(path):
+                total -= size
+                evicted.append(key)
+        return evicted
+
+    # ------------------------------------------------------------------
+    def record_usage(self, hits: int = 0, misses: int = 0) -> None:
+        """Append one batch's lookup outcome as a delta record.
+
+        ``O_APPEND`` of a single line per batch means concurrent runners
+        finishing batches at the same moment each land their own delta —
+        no read-modify-write window to lose counts in.  Advisory only:
+        any I/O failure is swallowed, because the sidecar must never be
+        able to fail an actual campaign.
+        """
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            path = self._usage_path()
-            tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-            tmp.write_text(json.dumps(usage), encoding="utf-8")
-            tmp.replace(path)
+            _append_jsonl(
+                self.directory / USAGE_DELTAS_NAME,
+                {"hits": hits, "misses": misses, "batches": 1},
+            )
         except OSError:
             pass
 
     def usage_stats(self) -> dict[str, int]:
-        """Lifetime lookup counters: ``hits``, ``misses``, ``batches``."""
+        """Lifetime lookup counters: ``hits``, ``misses``, ``batches``.
+
+        Folds the delta sidecar on top of a legacy ``_usage.json`` base
+        (caches written before deltas existed keep their history).
+        """
         usage = {"hits": 0, "misses": 0, "batches": 0}
         try:
-            raw = json.loads(self._usage_path().read_text(encoding="utf-8"))
+            raw = json.loads(
+                (self.directory / USAGE_NAME).read_text(encoding="utf-8")
+            )
         except (OSError, ValueError):
-            return usage
-        for key in usage:
-            value = raw.get(key) if isinstance(raw, dict) else None
-            if isinstance(value, int) and value >= 0:
-                usage[key] = value
+            raw = None
+        if isinstance(raw, dict):
+            for key in usage:
+                value = raw.get(key)
+                if isinstance(value, int) and value >= 0:
+                    usage[key] = value
+        for delta in _read_jsonl(self.directory / USAGE_DELTAS_NAME):
+            for key in usage:
+                value = delta.get(key)
+                if isinstance(value, int) and value >= 0:
+                    usage[key] += value
         return usage
 
-    def stats(self) -> tuple[int, int]:
-        """(entry count, total bytes) of the cache directory."""
+    def stats(self) -> CacheStats:
+        """Entry count, total entry bytes, and orphaned temp files."""
         total = 0
         entries = self.entries()
         for path in entries:
@@ -148,7 +311,7 @@ class ResultCache:
                 total += path.stat().st_size
             except OSError:
                 pass
-        return len(entries), total
+        return CacheStats(len(entries), total, len(self.orphan_temps()))
 
     @staticmethod
     def _discard(path: Path) -> bool:

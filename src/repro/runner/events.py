@@ -70,10 +70,25 @@ class EventLog:
 
 
 class ProgressLine:
-    """Single rewritten stderr line tracking a batch's completion."""
+    """Single rewritten stderr line tracking a batch's completion.
 
-    def __init__(self, stream: TextIO | None = None) -> None:
+    The carriage-return rewrite trick only makes sense on a terminal;
+    when the stream is not a tty (stderr redirected to a file, a CI log,
+    a pipe) each update is emitted as a plain newline-terminated line
+    instead, so logs never fill with ``\\r``-garbage.  ``tty`` overrides
+    the autodetection (useful for tests).
+    """
+
+    def __init__(
+        self, stream: TextIO | None = None, tty: bool | None = None
+    ) -> None:
         self._stream = stream if stream is not None else sys.stderr
+        if tty is None:
+            try:
+                tty = self._stream.isatty()
+            except (AttributeError, ValueError, OSError):
+                tty = False
+        self._tty = tty
         self._width = 0
         self._active = False
 
@@ -86,21 +101,24 @@ class ProgressLine:
         failed: int = 0,
         retried: int = 0,
     ) -> None:
-        """Rewrite the progress line with the latest counts."""
+        """Rewrite (tty) or append (non-tty) the latest counts."""
         parts = [f"{cached} cached"]
         if retried:
             parts.append(f"{retried} retried")
         if failed:
             parts.append(f"{failed} failed")
         line = f"[{done}/{total}] jobs done ({', '.join(parts)})"
-        padding = " " * max(0, self._width - len(line))
-        self._stream.write(f"\r{line}{padding}")
+        if self._tty:
+            padding = " " * max(0, self._width - len(line))
+            self._stream.write(f"\r{line}{padding}")
+            self._active = True
+        else:
+            self._stream.write(f"{line}\n")
         self._stream.flush()
         self._width = len(line)
-        self._active = True
 
     def finish(self) -> None:
-        """Terminate the line so later output starts cleanly."""
+        """Terminate the rewritten line so later output starts cleanly."""
         if self._active:
             self._stream.write("\n")
             self._stream.flush()

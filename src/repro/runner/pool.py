@@ -330,10 +330,12 @@ class BatchRunner:
         from concurrent.futures.process import BrokenProcessPool
 
         attempts: dict[str, int] = {key: 0 for key in pending}
-        crash_errors: dict[str, str] = {}
         while pending:
             round_jobs = dict(pending)
             crashed: list[str] = []
+            # Per-round: a crash in round N must be reported with round
+            # N's diagnostics, not a stale exception text from round N-1.
+            crash_errors: dict[str, str] = {}
             with ProcessPoolExecutor(
                 max_workers=min(self.jobs, len(round_jobs))
             ) as pool:

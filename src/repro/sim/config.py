@@ -36,7 +36,10 @@ All config dataclasses are frozen; derive variants with
 
 from __future__ import annotations
 
+import dataclasses
+from collections.abc import Mapping
 from dataclasses import dataclass, field, replace
+from typing import Any
 
 from repro.errors import ConfigError
 
@@ -331,6 +334,55 @@ class GPUConfig:
     def with_magic_memory(self, latency: int) -> "GPUConfig":
         """Return a copy configured for Figure 1's fixed-latency mode."""
         return replace(self, magic_memory=True, magic_latency=latency)
+
+
+#: Sub-config class per nested GPUConfig field (for deserialization).
+_SUBCONFIG_TYPES: dict[str, type] = {
+    "core": CoreConfig,
+    "l1": L1Config,
+    "icnt": ICNTConfig,
+    "l2": L2Config,
+    "dram": DRAMConfig,
+}
+
+
+def config_from_dict(payload: Mapping[str, Any]) -> GPUConfig:
+    """Rebuild a :class:`GPUConfig` from ``dataclasses.asdict`` output.
+
+    The inverse of ``dataclasses.asdict(config)`` — campaign manifests
+    persist configs as plain JSON and rebuild them here.  Unknown or
+    missing fields raise :class:`~repro.errors.ConfigError` (a manifest
+    written by different code must fail loudly, not half-apply);
+    ``__post_init__`` validation then runs as usual.
+    """
+    if not isinstance(payload, Mapping):
+        raise ConfigError(
+            f"config payload must be a mapping, got {type(payload).__name__}"
+        )
+    known = {f.name for f in dataclasses.fields(GPUConfig)}
+    unknown = sorted(set(payload) - known)
+    if unknown:
+        raise ConfigError(f"unknown GPUConfig field(s): {', '.join(unknown)}")
+    kwargs: dict[str, Any] = {}
+    for name, value in payload.items():
+        sub_type = _SUBCONFIG_TYPES.get(name)
+        if sub_type is None:
+            kwargs[name] = value
+            continue
+        if not isinstance(value, Mapping):
+            raise ConfigError(
+                f"GPUConfig.{name} must be a mapping, "
+                f"got {type(value).__name__}"
+            )
+        sub_known = {f.name for f in dataclasses.fields(sub_type)}
+        sub_unknown = sorted(set(value) - sub_known)
+        if sub_unknown:
+            raise ConfigError(
+                f"unknown {sub_type.__name__} field(s): "
+                + ", ".join(sub_unknown)
+            )
+        kwargs[name] = sub_type(**value)
+    return GPUConfig(**kwargs)
 
 
 def fermi_gtx480() -> GPUConfig:

@@ -5,6 +5,7 @@ cache hit-rate statistics)."""
 import dataclasses
 import io
 import json
+import os
 import pickle
 
 import pytest
@@ -118,10 +119,10 @@ class TestResultCache:
         metrics = _job().execute()
         cache.put("a" * 64, metrics)
         cache.put("b" * 64, metrics)
-        count, size = cache.stats()
-        assert count == 2 and size > 0
+        count, size, orphans = cache.stats()
+        assert count == 2 and size > 0 and orphans == 0
         assert cache.clear() == 2
-        assert cache.stats() == (0, 0)
+        assert cache.stats() == (0, 0, 0)
 
     def test_env_var_sets_default_directory(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "env-cache"))
@@ -265,6 +266,37 @@ class TestBatchRunnerPool:
             runner.run([_job(seed=s) for s in (1, 2)])
         assert "crashed" in str(excinfo.value)
 
+    def test_crash_after_retry_reports_fresh_diagnostics(
+            self, tmp_path, monkeypatch):
+        """A crash in retry round N must not surface round N-1's error.
+
+        Round 1: the bad job raises an ordinary exception (recorded as
+        that round's crash diagnostics).  Round 2: the same job kills its
+        worker outright, which breaks the pool with no specific error.
+        The failure summary must carry round 2's generic crash text, not
+        the stale round-1 exception.  (Relies on the fork start method:
+        pool workers inherit the monkeypatched ``Job.execute``.)
+        """
+        counter = tmp_path / "attempts"
+
+        def two_phase(self):
+            if self.seed == 99:
+                with open(counter, "ab") as handle:
+                    handle.write(b"x")
+                if os.path.getsize(counter) == 1:
+                    raise ValueError("round-one noise")  # noqa: REP003 - deliberately a non-ReproError to exercise retry
+                os._exit(13)  # hard crash: breaks the pool
+            return original(self)
+
+        original = Job.execute
+        monkeypatch.setattr(Job, "execute", two_phase)
+        runner = BatchRunner(jobs=2, retries=1)
+        with pytest.raises(RunnerError) as excinfo:
+            runner.run([_job(seed=1), _job(seed=99)])
+        text = str(excinfo.value)
+        assert "worker crashed (process pool broken)" in text
+        assert "round-one noise" not in text
+
     def test_pool_repro_error_not_retried(self):
         jobs = [Job(tiny_gpu(), "doom"), Job(tiny_gpu(), "lbm",
                                              iteration_scale=SCALE)]
@@ -393,7 +425,7 @@ class TestEventLog:
 class TestProgressLine:
     def test_rewrites_one_line(self):
         stream = io.StringIO()
-        line = ProgressLine(stream=stream)
+        line = ProgressLine(stream=stream, tty=True)
         line.update(1, 3)
         line.update(3, 3, cached=1, retried=2, failed=1)
         line.finish()
@@ -401,6 +433,19 @@ class TestProgressLine:
         assert text.startswith("\r[1/3] jobs done")
         assert "[3/3] jobs done (1 cached, 2 retried, 1 failed)" in text
         assert text.endswith("\n")
+
+    def test_non_tty_stream_gets_plain_lines(self):
+        # A StringIO has no isatty -> redirected stderr must never see
+        # carriage-return rewrite sequences, only whole lines.
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream)
+        line.update(1, 2)
+        line.update(2, 2)
+        line.finish()
+        text = stream.getvalue()
+        assert "\r" not in text
+        assert text.splitlines() == [
+            "[1/2] jobs done (0 cached)", "[2/2] jobs done (0 cached)"]
 
     def test_finish_without_updates_is_silent(self):
         stream = io.StringIO()
