@@ -6,16 +6,17 @@ itself and the layers beneath it:
 .. code-block:: text
 
     cli, __main__                  (entry points)
-      core, runner                 (experiments, batch execution)
-        telemetry, analysis        (observability, verification)
-          gpu                      (system assembly)
-            workloads              (kernels, traces)
-              cores                (SM, warps, coalescer)
-                cache, dram, icnt  (memory-system components)
-                  mem              (requests, queues, pipes, addressing)
-                    sim            (engine, clocks, Component, config)
-                      utils        (stats, tables, export helpers)
-                        errors     (exception hierarchy)
+      service                      (daemon, socket server, client)
+        core, runner               (experiments, batch execution)
+          telemetry, analysis      (observability, verification)
+            gpu                    (system assembly)
+              workloads            (kernels, traces)
+                cores              (SM, warps, coalescer)
+                  cache, dram, icnt  (memory-system components)
+                    mem            (requests, queues, pipes, addressing)
+                      sim          (engine, clocks, Component, config)
+                        utils      (stats, tables, export helpers)
+                          errors   (exception hierarchy)
 
 ``core`` and ``runner`` share a layer deliberately: experiment drivers
 fan out through the runner while the runner's jobs execute experiment
@@ -45,6 +46,7 @@ LAYERS: tuple[tuple[str, ...], ...] = (
     ("gpu",),
     ("telemetry", "analysis"),
     ("core", "runner"),
+    ("service",),
     ("cli", "__main__", ""),
 )
 

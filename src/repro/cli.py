@@ -21,6 +21,11 @@ Every experiment in the paper can be regenerated from the shell::
     repro campaign run DIR --configs baseline l2 --seeds 1 2  # sharded sweep
     repro campaign status DIR       # done/failed/claimed/pending + workers
     repro campaign resume DIR       # pick up a killed campaign, no rework
+    repro serve --socket repro.sock           # simulation-as-a-service daemon
+    repro submit --socket repro.sock --benchmarks nn sc --wait --out runs.csv
+    repro status ID --socket repro.sock       # poll one submission
+    repro results ID --socket repro.sock --out runs.csv
+    repro cancel ID --socket repro.sock
 
 All experiment commands accept ``--scale`` (iteration scale, default 1.0;
 smaller is faster), ``--config`` (small / fermi / tiny) and ``--seed``.
@@ -42,6 +47,15 @@ claimed through atomic claim files (stale claims of dead workers are
 taken over after a heartbeat timeout), results land in one shared store,
 and a killed campaign resumes from exactly what is done.  The merged
 export (``--out``) is byte-identical to running the same sweep serially.
+
+``repro serve`` runs the simulation service: a long-lived daemon
+listening on a unix socket (``--socket PATH``) or loopback TCP
+(``--port N``) whose JSON job API ``repro submit|status|results|cancel``
+speaks.  Identical in-flight submissions from concurrent clients
+coalesce onto one simulation pass; the submission queue is bounded
+(typed ``queue-full`` backpressure); SIGTERM drains gracefully.  Results
+fetched from the daemon are byte-identical to a local ``repro export``
+of the same sweep.
 
 Observability: ``repro run --timeline`` attaches the
 :class:`repro.telemetry.TimeSeriesProbe` and renders cycle-windowed IPC /
@@ -111,6 +125,14 @@ from repro.runner.campaign import (
     DEFAULT_STALE_AFTER,
     default_store,
 )
+from repro.service import (
+    DEFAULT_QUEUE_DEPTH,
+    ReproDaemon,
+    ServiceClient,
+    serve as service_serve,
+    sweep_spec,
+)
+from repro.runner.cache import default_cache_dir
 from repro.sim.config import GPUConfig, fermi_gtx480, small_gpu, tiny_gpu
 from repro.utils.tables import render_table
 from repro.workloads.suite import PAPER_SUITE, SPECS, get_benchmark
@@ -477,12 +499,16 @@ def _cmd_cache(args: argparse.Namespace) -> int:
 
 
 def _campaign_store(args: argparse.Namespace) -> ResultCache:
-    """The campaign's shared store (default: ``<dir>/store``)."""
-    if args.cache_dir:
-        return ResultCache(
-            args.cache_dir, max_bytes=getattr(args, "store_max_bytes", None))
+    """The campaign's shared store (default: ``<dir>/store``).
+
+    Either way the store's eviction is manifest-protected: a size bound
+    can never delete entries the campaign counts as done.
+    """
     return default_store(
-        args.directory, max_bytes=getattr(args, "store_max_bytes", None))
+        args.directory,
+        max_bytes=getattr(args, "store_max_bytes", None),
+        cache_dir=args.cache_dir or None,
+    )
 
 
 def _campaign_jobs(args: argparse.Namespace) -> list[Job]:
@@ -557,6 +583,118 @@ def _cmd_campaign(args: argparse.Namespace) -> int:
         path = export_runs(results, args.out, args.format)
         print(f"wrote {len(results)} runs to {path} ({args.format})")
     return 0 if status.done == status.total else 1
+
+
+def _service_client(args: argparse.Namespace) -> ServiceClient:
+    if not args.socket and args.port is None:
+        raise UsageError(
+            "connect with --socket PATH or --port N (matching `repro serve`)")
+    return ServiceClient(
+        socket_path=args.socket or None, port=args.port, host=args.host)
+
+
+def _render_submission(status: dict) -> str:
+    line = (
+        f"submission {status['id']}: {status['state']} "
+        f"({status['done']}/{status['total']} done, "
+        f"{status['clients']} client(s))"
+    )
+    if status.get("error"):
+        line += f"\n  error: {status['error']}"
+    return line
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    state_dir = args.state_dir or (default_cache_dir() / "service")
+    cache = ResultCache(args.cache_dir) if args.cache_dir else None
+    daemon = ReproDaemon(
+        state_dir,
+        cache=cache,
+        workers=args.workers,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+    )
+    # Build the listener before announcing, so the printed address is
+    # already accepting connections (CI waits on this line).
+    print(
+        f"repro service: state dir {daemon.state_dir}, "
+        f"{args.workers} worker(s), queue depth {args.queue_depth}",
+        file=sys.stderr)
+    server = service_serve(
+        daemon, socket_path=args.socket or None, port=args.port,
+        host=args.host)
+    print(
+        f"repro service: drained and stopped ({server.address})",
+        file=sys.stderr)
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    spec = sweep_spec(
+        config=args.config,
+        configs=args.configs,
+        benchmarks=args.benchmarks,
+        seeds=args.seeds,
+        scale=args.scale,
+    )
+    response = client.submit(spec)
+    if response.get("coalesced"):
+        print(
+            f"coalesced onto in-flight submission {response['id']}",
+            file=sys.stderr)
+    print(_render_submission(response))
+    if not (args.wait or args.out):
+        return 0
+    status = client.wait_done(
+        response["id"], poll=args.poll, timeout=args.timeout)
+    print(_render_submission(status))
+    if status["state"] != "done":
+        return 1
+    if args.out:
+        result = client.results(status["id"], args.format)
+        path = write_text(args.out, result["text"])
+        print(f"wrote {status['total']} runs to {path} ({args.format})")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    if args.follow:
+        state = None
+        for message in client.stream_events(args.id):
+            if "done" in message:
+                state = message.get("state")
+                break
+            event = message.get("event", {})
+            print(json.dumps(event, separators=(",", ":")))
+        status = client.status(args.id)
+        print(_render_submission(status))
+        return 0 if state == "done" else 1
+    status = client.status(args.id)
+    print(_render_submission(status))
+    if args.events:
+        for record in client.events(args.id)["events"]:
+            print(json.dumps(record, separators=(",", ":")))
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    result = client.results(args.id, args.format)
+    if args.out:
+        path = write_text(args.out, result["text"])
+        print(f"wrote results of {args.id} to {path} ({args.format})")
+    else:
+        sys.stdout.write(result["text"])
+    return 0
+
+
+def _cmd_cancel(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    status = client.cancel(args.id)
+    print(_render_submission(status))
+    return 0
 
 
 def _cmd_validate(args: argparse.Namespace) -> int:
@@ -838,6 +976,115 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-dir", default=None, metavar="DIR",
         help="shared result store (default: <directory>/store)")
     cstatus.set_defaults(func=_cmd_campaign)
+
+    def _add_service_conn(parser: argparse.ArgumentParser) -> None:
+        parser.add_argument(
+            "--socket", default=None, metavar="PATH",
+            help="unix socket the daemon listens on")
+        parser.add_argument(
+            "--port", type=int, default=None, metavar="N",
+            help="loopback TCP port the daemon listens on (instead of "
+                 "--socket; 0 picks a free port)")
+        parser.add_argument(
+            "--host", default="127.0.0.1", metavar="HOST",
+            help="TCP bind/connect host for --port (default: 127.0.0.1)")
+
+    srv = sub.add_parser(
+        "serve",
+        help="run the simulation service: a daemon that coalesces "
+             "identical submissions, queues with backpressure and drains "
+             "gracefully on SIGTERM")
+    _add_service_conn(srv)
+    srv.add_argument(
+        "--state-dir", default=None, metavar="DIR",
+        help="daemon state (store + per-submission event logs; default: "
+             "<cache dir>/service)")
+    srv.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="concurrent submissions executed (default: 1)")
+    srv.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="process-pool width per submission (default: all CPUs; "
+             "1 runs in-process)")
+    srv.add_argument(
+        "--queue-depth", type=int, default=DEFAULT_QUEUE_DEPTH, metavar="N",
+        help="bound on queued submissions; submits past it are rejected "
+             f"with the typed queue-full error (default: {DEFAULT_QUEUE_DEPTH})")
+    srv.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result store for the daemon (default: <state-dir>/store)")
+    srv.set_defaults(func=_cmd_serve)
+
+    submit = sub.add_parser(
+        "submit",
+        help="submit a sweep to a running daemon; identical concurrent "
+             "submissions coalesce onto one simulation pass")
+    _add_service_conn(submit)
+    submit.add_argument(
+        "--config", choices=sorted(_CONFIGS), default="small",
+        help="architecture configuration (default: small)")
+    submit.add_argument(
+        "--scale", type=float, default=1.0,
+        help="benchmark iteration scale (default: 1.0)")
+    submit.add_argument(
+        "--benchmarks", nargs="*", default=list(PAPER_SUITE),
+        metavar="NAME", help="benchmarks in the sweep (default: the suite)")
+    submit.add_argument(
+        "--seeds", nargs="*", type=int, default=[1], metavar="SEED",
+        help="seeds in the sweep (default: 1)")
+    submit.add_argument(
+        "--configs", nargs="*", default=["baseline"], metavar="LABEL",
+        help="Section IV scaling labels in the sweep (default: baseline)")
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="poll until the submission settles (implied by --out)")
+    submit.add_argument(
+        "--poll", type=float, default=0.2, metavar="SECONDS",
+        help="status poll interval with --wait (default: 0.2s)")
+    submit.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="give up waiting after this long (default: wait forever)")
+    submit.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="wait, then write the merged results here")
+    submit.add_argument(
+        "--format", choices=["csv", "json"], default="csv",
+        help="export format for --out (default: csv)")
+    submit.set_defaults(func=_cmd_submit)
+
+    sstatus = sub.add_parser(
+        "status", help="show one submission's state and progress")
+    sstatus.add_argument("id", help="submission id (from `repro submit`)")
+    _add_service_conn(sstatus)
+    sstatus.add_argument(
+        "--events", action="store_true",
+        help="also print the submission's event log as JSON lines")
+    sstatus.add_argument(
+        "--follow", action="store_true",
+        help="stream events as they happen until the submission settles")
+    sstatus.set_defaults(func=_cmd_status)
+
+    results = sub.add_parser(
+        "results",
+        help="fetch a completed submission's merged results "
+             "(byte-identical to a local `repro export` of the sweep)")
+    results.add_argument("id", help="submission id (from `repro submit`)")
+    _add_service_conn(results)
+    results.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the results here (default: stdout)")
+    results.add_argument(
+        "--format", choices=["csv", "json"], default="csv",
+        help="export format (default: csv)")
+    results.set_defaults(func=_cmd_results)
+
+    cancel = sub.add_parser(
+        "cancel",
+        help="cancel a submission (queued: immediately; running: at the "
+             "next chunk boundary)")
+    cancel.add_argument("id", help="submission id (from `repro submit`)")
+    _add_service_conn(cancel)
+    cancel.set_defaults(func=_cmd_cancel)
     return parser
 
 

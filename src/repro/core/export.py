@@ -36,8 +36,27 @@ __all__ = [
     "metrics_to_json",
     "metrics_to_nested_dict",
     "profile_to_csv",
+    "runs_to_text",
     "write_text",
 ]
+
+
+def runs_to_text(runs: Sequence[RunMetrics], fmt: str = "csv") -> str:
+    """Render ``runs`` in the stable export schema, as text.
+
+    The single formatting authority behind every run-sequence export
+    surface (``repro export``, campaign exports, the service's
+    ``results`` endpoint): ``csv`` is the flat :func:`metrics_to_dict`
+    column schema, ``json`` the nested :func:`metrics_to_nested_dict`
+    document.  Because all surfaces share this function, a daemon's
+    streamed results are byte-identical to a local export of the same
+    runs.
+    """
+    if fmt == "json":
+        return metrics_to_json(runs)
+    if fmt == "csv":
+        return metrics_to_csv(runs)
+    raise UsageError(f"unknown export format {fmt!r}; use csv or json")
 
 
 def export_runs(
@@ -45,19 +64,10 @@ def export_runs(
 ) -> Path:
     """Write ``runs`` to ``output`` in the stable export schema.
 
-    One entry point for every run-sequence export surface (``repro
-    export``, campaign exports), so they stay byte-compatible: ``csv``
-    is the flat :func:`metrics_to_dict` column schema, ``json`` the
-    nested :func:`metrics_to_nested_dict` document.  Returns the path
+    File-writing wrapper over :func:`runs_to_text`; returns the path
     written.
     """
-    if fmt == "json":
-        text = metrics_to_json(runs)
-    elif fmt == "csv":
-        text = metrics_to_csv(runs)
-    else:
-        raise UsageError(f"unknown export format {fmt!r}; use csv or json")
-    return write_text(output, text)
+    return write_text(output, runs_to_text(runs, fmt))
 
 
 def metrics_to_dict(metrics: RunMetrics) -> dict[str, Any]:

@@ -31,6 +31,12 @@ are built on:
   :meth:`put` evicts least-recently-used entries (file mtime — refreshed
   on every :meth:`get` hit) until the store fits, never evicting the
   entry just written.
+* Campaigns treat *store entry presence* as the done-authority (see
+  :mod:`repro.runner.campaign`), so eviction must never silently undo a
+  completed unit: ``protect_keys`` names keys (directly or through a
+  callable, e.g. a campaign-manifest loader) that :meth:`evict` always
+  skips, keeping the size bound and the done-authority invariant
+  compatible.
 """
 
 from __future__ import annotations
@@ -39,6 +45,7 @@ import json
 import os
 import pickle
 import time
+from collections.abc import Callable, Collection, Iterable
 from pathlib import Path
 from typing import Any, NamedTuple
 
@@ -110,17 +117,24 @@ class ResultCache:
 
     ``max_bytes`` (optional) size-bounds the store: every :meth:`put`
     evicts least-recently-used entries until the total fits.
+    ``protect_keys`` (a collection of keys, or a zero-argument callable
+    returning one) names entries :meth:`evict` must never delete — the
+    campaign layer passes its manifest keys so a size-bounded shared
+    store cannot evict results a live campaign's ledger already counts
+    as done.
     """
 
     def __init__(
         self,
         directory: str | Path | None = None,
         max_bytes: int | None = None,
+        protect_keys: Collection[str] | Callable[[], Collection[str]] | None = None,
     ) -> None:
         self.directory = (
             Path(directory).expanduser() if directory else default_cache_dir()
         )
         self.max_bytes = max_bytes
+        self.protect_keys = protect_keys
 
     def _path(self, key: str) -> Path:
         return self.directory / f"{key}.pkl"
@@ -228,14 +242,26 @@ class ResultCache:
             if self.contains(key)
         }
 
-    def evict(self, max_bytes: int, protect: str | None = None) -> list[str]:
+    def evict(
+        self, max_bytes: int, protect: str | Iterable[str] | None = None
+    ) -> list[str]:
         """Delete least-recently-used entries until the store fits.
 
         Recency is the entry file's mtime (refreshed by :meth:`get`
-        hits).  ``protect`` names one key never evicted — :meth:`put`
+        hits).  ``protect`` names keys never evicted — :meth:`put`
         passes the key it just wrote, so a single oversized entry is
-        stored rather than thrashed.  Returns the evicted keys.
+        stored rather than thrashed — and the instance-level
+        ``protect_keys`` (e.g. a campaign's manifest keys) are honoured
+        on top: a completed campaign unit stays present, because store
+        presence is the campaign's done-authority.  Returns the evicted
+        keys.
         """
+        protected: set[str] = set()
+        if isinstance(protect, str):
+            protected.add(protect)
+        elif protect is not None:
+            protected.update(protect)
+        protected.update(self._protected_keys())
         aged: list[tuple[float, int, Path]] = []
         total = 0
         for path in self.entries():
@@ -251,12 +277,20 @@ class ResultCache:
             if total <= max_bytes:
                 break
             key = path.name[: -len(".pkl")]
-            if key == protect:
+            if key in protected:
                 continue
             if self._discard(path):
                 total -= size
                 evicted.append(key)
         return evicted
+
+    def _protected_keys(self) -> Collection[str]:
+        """Resolve ``protect_keys`` (callable or plain collection)."""
+        if self.protect_keys is None:
+            return ()
+        if callable(self.protect_keys):
+            return self.protect_keys()
+        return self.protect_keys
 
     # ------------------------------------------------------------------
     def record_usage(self, hits: int = 0, misses: int = 0) -> None:

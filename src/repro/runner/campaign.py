@@ -56,7 +56,10 @@ import dataclasses
 import json
 import os
 import re
+import signal
+import threading
 import time
+from collections.abc import Callable, Collection
 from pathlib import Path
 from typing import Any
 
@@ -372,9 +375,52 @@ def _failed_keys(directory: str | Path) -> set[str]:
 # workers
 # ----------------------------------------------------------------------
 
-def default_store(directory: str | Path, max_bytes: int | None = None) -> ResultCache:
-    """The campaign's shared artifact store (``<dir>/store``)."""
-    return ResultCache(_campaign_dir(directory) / STORE_DIR, max_bytes=max_bytes)
+def manifest_protection(
+    directory: str | Path,
+) -> Callable[[], Collection[str]]:
+    """Eviction guard: the campaign's frozen work-unit keys.
+
+    Store entry presence is the campaign's done-authority, so a
+    size-bounded shared store must never LRU-evict an entry the ledger
+    already counts as done — that would silently flip a completed unit
+    back to pending.  The returned callable plugs into
+    :class:`~repro.runner.ResultCache` ``protect_keys``; it resolves
+    lazily (the store is often built before the manifest exists) and
+    memoizes once loaded (the manifest is immutable after creation).
+    """
+    base = _campaign_dir(directory)
+    cached: set[str] | None = None
+
+    def protected() -> Collection[str]:
+        nonlocal cached
+        if cached is None:
+            try:
+                cached = set(CampaignManifest.load(base).keys())
+            except UsageError:
+                return ()  # no manifest yet: nothing to protect
+        return cached
+
+    return protected
+
+
+def default_store(
+    directory: str | Path,
+    max_bytes: int | None = None,
+    cache_dir: str | Path | None = None,
+) -> ResultCache:
+    """The campaign's shared artifact store (``<dir>/store``).
+
+    ``cache_dir`` overrides the location (the CLI's ``--cache-dir``);
+    either way the store's eviction is guarded by
+    :func:`manifest_protection`, so completed units survive any
+    ``max_bytes`` bound.
+    """
+    return ResultCache(
+        Path(cache_dir).expanduser() if cache_dir
+        else _campaign_dir(directory) / STORE_DIR,
+        max_bytes=max_bytes,
+        protect_keys=manifest_protection(directory),
+    )
 
 
 def _safe_worker_name(name: str) -> str:
@@ -420,6 +466,10 @@ class CampaignWorker:
         events_dir = self.directory / EVENTS_DIR
         events_dir.mkdir(parents=True, exist_ok=True)
         self.events = EventLog(events_dir / f"{self.worker}.jsonl")
+        #: Claim files this worker currently holds (released on any exit
+        #: path, including SIGINT/SIGTERM, so interrupted work is handed
+        #: back immediately instead of after ``stale_after``).
+        self._held: set[str] = set()
 
     # ------------------------------------------------------------------
     def _claim_round(self, skip: set[str]) -> list[WorkUnit]:
@@ -433,18 +483,39 @@ class CampaignWorker:
             if try_claim(
                 self.directory, unit.key, self.worker, self.stale_after
             ):
+                self._held.add(unit.key)
                 # The claim raced the completion check: someone may have
                 # finished the unit between our contains() and the claim.
                 if self.cache.contains(unit.key):
-                    release_claim(self.directory, unit.key)
+                    self._release(unit.key)
                     continue
                 claimed.append(unit)
         return claimed
 
+    def _release(self, key: str) -> None:
+        release_claim(self.directory, key)
+        self._held.discard(key)
+
+    def _release_held(self) -> None:
+        """Hand every held claim back (interrupt/exit path)."""
+        for key in sorted(self._held):
+            release_claim(self.directory, key)
+        self._held.clear()
+
+    def _heartbeat_interval(self) -> float:
+        """Refresh well inside ``stale_after`` but never busy-spin."""
+        return min(max(self.stale_after / 4.0, 0.05), 30.0)
+
     def _run_claimed(
         self, claimed: list[WorkUnit], report: WorkerReport
     ) -> set[str]:
-        """Execute claimed units as one batch; returns failed keys."""
+        """Execute claimed units as one batch; returns failed keys.
+
+        Heartbeats run from a background thread for the whole batch
+        duration: a single simulation longer than ``stale_after`` must
+        not let the claim go stale mid-flight (another worker would take
+        it over and duplicate the work).
+        """
         keys = [unit.key for unit in claimed]
         heartbeat_claims(self.directory, keys)
         runner = BatchRunner(
@@ -453,11 +524,24 @@ class CampaignWorker:
             retries=self.retries,
             events=self.events,
         )
+        stop = threading.Event()
+
+        def _beat() -> None:
+            while not stop.wait(self._heartbeat_interval()):
+                heartbeat_claims(self.directory, keys)
+
+        beater = threading.Thread(
+            target=_beat, name=f"heartbeat-{self.worker}", daemon=True
+        )
+        beater.start()
         error_text = ""
         try:
             runner.run([unit.job for unit in claimed])
         except RunnerError as exc:
             error_text = str(exc)
+        finally:
+            stop.set()
+            beater.join()
         failed: set[str] = set()
         for unit in claimed:
             if self.cache.contains(unit.key):
@@ -474,7 +558,7 @@ class CampaignWorker:
                     job=unit.job.describe(),
                     error=error_text.splitlines()[0] if error_text else "",
                 )
-            release_claim(self.directory, unit.key)
+            self._release(unit.key)
         return failed
 
     def run(self, wait: bool = True) -> WorkerReport:
@@ -485,42 +569,67 @@ class CampaignWorker:
         claims go stale and get taken over — so returning means every
         unit is either done or failed.  With ``wait=False`` the worker
         returns as soon as it finds nothing to claim.
+
+        Any exit — normal return, exception, SIGINT, SIGTERM — releases
+        every claim this worker still holds, so an interrupted worker
+        hands its units back immediately instead of leaving them locked
+        until ``stale_after`` expires.  (A SIGKILL cannot be caught; the
+        stale-takeover path remains the backstop for that.)
         """
         report = WorkerReport()
-        skip: set[str] = set() if self.retry_failed else _failed_keys(self.directory)
-        self.events.emit(
-            "campaign_worker_start", worker=self.worker,
-            units=len(self.manifest.units), jobs=self.jobs,
-        )
-        while True:
-            report.rounds += 1
-            claimed = self._claim_round(skip)
-            if claimed:
-                skip |= self._run_claimed(claimed, report)
-                continue
-            if not self.retry_failed:
-                # Units another worker failed while we waited are
-                # resolved too — without this refresh we would poll
-                # them forever.
-                skip |= _failed_keys(self.directory)
-            unresolved = [
-                unit.key for unit in self.manifest.units
-                if unit.key not in skip and not self.cache.contains(unit.key)
-            ]
-            if not unresolved:
-                break
-            if not wait:
-                break
-            time.sleep(self.poll)
-        report.skipped_done = sum(
-            1 for unit in self.manifest.units if self.cache.contains(unit.key)
-        ) - report.executed
-        self.events.emit(
-            "campaign_worker_end", worker=self.worker,
-            executed=report.executed, failed=report.failed,
-            rounds=report.rounds,
-        )
-        self.events.close()
+        previous_term: Any = None
+        installed_term = False
+        if threading.current_thread() is threading.main_thread():
+            # SIGTERM default-kills without unwinding; converting it to
+            # SystemExit lets the finally below release held claims.
+            def _terminate(signum: int, frame: Any) -> None:
+                raise SystemExit(128 + signum)  # noqa: REP003 - signal exit, not a library failure
+
+            previous_term = signal.signal(signal.SIGTERM, _terminate)
+            installed_term = True
+        try:
+            skip: set[str] = (
+                set() if self.retry_failed else _failed_keys(self.directory)
+            )
+            self.events.emit(
+                "campaign_worker_start", worker=self.worker,
+                units=len(self.manifest.units), jobs=self.jobs,
+            )
+            while True:
+                report.rounds += 1
+                claimed = self._claim_round(skip)
+                if claimed:
+                    skip |= self._run_claimed(claimed, report)
+                    continue
+                if not self.retry_failed:
+                    # Units another worker failed while we waited are
+                    # resolved too — without this refresh we would poll
+                    # them forever.
+                    skip |= _failed_keys(self.directory)
+                unresolved = [
+                    unit.key for unit in self.manifest.units
+                    if unit.key not in skip
+                    and not self.cache.contains(unit.key)
+                ]
+                if not unresolved:
+                    break
+                if not wait:
+                    break
+                time.sleep(self.poll)
+            report.skipped_done = sum(
+                1 for unit in self.manifest.units
+                if self.cache.contains(unit.key)
+            ) - report.executed
+            self.events.emit(
+                "campaign_worker_end", worker=self.worker,
+                executed=report.executed, failed=report.failed,
+                rounds=report.rounds,
+            )
+            self.events.close()
+        finally:
+            self._release_held()
+            if installed_term:
+                signal.signal(signal.SIGTERM, previous_term)
         return report
 
 

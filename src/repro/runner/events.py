@@ -74,13 +74,31 @@ class ProgressLine:
 
     The carriage-return rewrite trick only makes sense on a terminal;
     when the stream is not a tty (stderr redirected to a file, a CI log,
-    a pipe) each update is emitted as a plain newline-terminated line
+    a pipe) updates are emitted as plain newline-terminated lines
     instead, so logs never fill with ``\\r``-garbage.  ``tty`` overrides
     the autodetection (useful for tests).
+
+    Plain (non-tty) mode is *throttled*: a large sweep completes
+    thousands of jobs, and one log line per completion floods CI logs.
+    A plain update is emitted only when it is the first, reaches the
+    final count, reports a new failure, advances completion past the
+    next ``percent_step`` boundary, or arrives at least
+    ``min_interval`` seconds after the previous emitted line.  Tty
+    rewrites are untouched — a terminal line costs nothing to redraw.
     """
 
+    #: Minimum seconds between time-triggered plain-mode lines.
+    DEFAULT_MIN_INTERVAL = 5.0
+
+    #: Completion-percent granularity of plain-mode lines.
+    DEFAULT_PERCENT_STEP = 10.0
+
     def __init__(
-        self, stream: TextIO | None = None, tty: bool | None = None
+        self,
+        stream: TextIO | None = None,
+        tty: bool | None = None,
+        min_interval: float = DEFAULT_MIN_INTERVAL,
+        percent_step: float = DEFAULT_PERCENT_STEP,
     ) -> None:
         self._stream = stream if stream is not None else sys.stderr
         if tty is None:
@@ -91,6 +109,28 @@ class ProgressLine:
         self._tty = tty
         self._width = 0
         self._active = False
+        self._min_interval = max(0.0, min_interval)
+        self._percent_step = max(0.0, percent_step)
+        self._last_emit: float | None = None
+        self._last_percent = 0.0
+        self._last_failed = 0
+
+    def _should_emit_plain(self, done: int, total: int, failed: int) -> bool:
+        """Throttle decision for one non-tty update."""
+        now = time.monotonic()  # noqa: REP001 - host log pacing, not simulated time
+        percent = (100.0 * done / total) if total > 0 else 100.0
+        emit = (
+            self._last_emit is None
+            or done >= total
+            or failed != self._last_failed
+            or percent - self._last_percent >= self._percent_step
+            or now - self._last_emit >= self._min_interval
+        )
+        if emit:
+            self._last_emit = now
+            self._last_percent = percent
+            self._last_failed = failed
+        return emit
 
     def update(
         self,
@@ -101,7 +141,9 @@ class ProgressLine:
         failed: int = 0,
         retried: int = 0,
     ) -> None:
-        """Rewrite (tty) or append (non-tty) the latest counts."""
+        """Rewrite (tty) or append (non-tty, throttled) the counts."""
+        if not self._tty and not self._should_emit_plain(done, total, failed):
+            return
         parts = [f"{cached} cached"]
         if retried:
             parts.append(f"{retried} retried")

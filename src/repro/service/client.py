@@ -1,0 +1,166 @@
+"""Client plumbing for the simulation service.
+
+:class:`ServiceClient` opens one connection per request (the protocol is
+single-exchange), raises the daemon's typed
+:class:`~repro.service.protocol.ServiceError` on error payloads, and
+offers the small set of verbs the CLI commands (``repro
+submit|status|results|cancel``) and tests compose: ``submit``,
+``status``, ``events``, ``stream_events``, ``results``, ``cancel``,
+``ping`` and ``wait_done``.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections.abc import Iterator
+from pathlib import Path
+from typing import Any
+
+from repro.errors import UsageError
+from repro.service.daemon import TERMINAL
+from repro.service.protocol import ServiceError, decode_line, encode_line
+
+#: Default seconds between ``wait_done`` status polls.
+DEFAULT_POLL = 0.2
+
+#: Default per-request socket timeout in seconds.
+DEFAULT_TIMEOUT = 30.0
+
+
+class ServiceClient:
+    """One daemon address plus the request verbs against it."""
+
+    def __init__(
+        self,
+        socket_path: str | Path | None = None,
+        port: int | None = None,
+        host: str = "127.0.0.1",
+        timeout: float = DEFAULT_TIMEOUT,
+    ) -> None:
+        if (socket_path is None) == (port is None):
+            raise UsageError(
+                "client needs exactly one of socket path or port"
+            )
+        self.socket_path = Path(socket_path).expanduser() if socket_path else None
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _connect(self) -> socket.socket:
+        try:
+            if self.socket_path is not None:
+                conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                conn.settimeout(self.timeout)
+                conn.connect(str(self.socket_path))
+            else:
+                conn = socket.create_connection(
+                    (self.host, int(self.port or 0)), timeout=self.timeout
+                )
+            return conn
+        except OSError as exc:
+            raise ServiceError(
+                "internal",
+                f"cannot reach daemon at {self.address}: {exc} "
+                "(is `repro serve` running?)",
+            ) from exc
+
+    @property
+    def address(self) -> str:
+        if self.socket_path is not None:
+            return str(self.socket_path)
+        return f"{self.host}:{self.port}"
+
+    def request(self, payload: dict[str, Any]) -> dict[str, Any]:
+        """One request/response exchange; typed errors re-raise here."""
+        with self._connect() as conn:
+            try:
+                conn.sendall(encode_line(payload))
+                line = conn.makefile("rb").readline(16 * 1024 * 1024)
+            except OSError as exc:
+                raise ServiceError(
+                    "internal", f"connection to {self.address} failed: {exc}"
+                ) from exc
+        if not line:
+            raise ServiceError(
+                "internal", f"daemon at {self.address} closed the connection"
+            )
+        response = decode_line(line)
+        if not response.get("ok", False):
+            raise ServiceError.from_payload(response)
+        return response
+
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+        return self.request({"op": "submit", "spec": spec})
+
+    def status(self, sub_id: str) -> dict[str, Any]:
+        return self.request({"op": "status", "id": sub_id})
+
+    def events(self, sub_id: str, since: int = 0) -> dict[str, Any]:
+        return self.request({"op": "events", "id": sub_id, "since": since})
+
+    def results(self, sub_id: str, fmt: str = "csv") -> dict[str, Any]:
+        return self.request({"op": "results", "id": sub_id, "format": fmt})
+
+    def cancel(self, sub_id: str) -> dict[str, Any]:
+        return self.request({"op": "cancel", "id": sub_id})
+
+    def ping(self) -> dict[str, Any]:
+        return self.request({"op": "ping"})
+
+    def wait_done(
+        self,
+        sub_id: str,
+        poll: float = DEFAULT_POLL,
+        timeout: float | None = None,
+    ) -> dict[str, Any]:
+        """Poll until the submission reaches a terminal state."""
+        deadline = (
+            None if timeout is None
+            else time.monotonic() + timeout  # noqa: REP001 - host polling, not simulated time
+        )
+        while True:
+            status = self.status(sub_id)
+            if status["state"] in TERMINAL:
+                return status
+            if deadline is not None and time.monotonic() > deadline:  # noqa: REP001 - host polling, not simulated time
+                raise ServiceError(
+                    "internal",
+                    f"submission {sub_id} still {status['state']} after "
+                    f"{timeout}s",
+                )
+            time.sleep(poll)  # noqa: REP001 - host polling, not simulated time
+
+    def stream_events(
+        self, sub_id: str, since: int = 0
+    ) -> Iterator[dict[str, Any]]:
+        """Yield event records as the daemon streams them (``follow``).
+
+        The stream ends when the submission settles (or the daemon
+        stops); the final control line is yielded too, distinguishable
+        by its ``done`` field.
+        """
+        with self._connect() as conn:
+            conn.settimeout(None)  # a quiet sweep can idle between events
+            try:
+                conn.sendall(encode_line(
+                    {"op": "events", "id": sub_id, "since": since,
+                     "follow": True}
+                ))
+                reader = conn.makefile("rb")
+                for line in reader:
+                    response = decode_line(line)
+                    if not response.get("ok", False):
+                        raise ServiceError.from_payload(response)
+                    yield response
+                    if "done" in response:
+                        return
+            except OSError as exc:
+                raise ServiceError(
+                    "internal", f"event stream from {self.address} broke: {exc}"
+                ) from exc
+
+
+__all__ = ["DEFAULT_POLL", "DEFAULT_TIMEOUT", "ServiceClient"]

@@ -1,0 +1,477 @@
+"""The long-lived simulation daemon behind ``repro serve``.
+
+:class:`ReproDaemon` turns the batch/campaign substrate into a job
+service: clients submit sweep specs, get a content-addressed submission
+id back, poll status or read the submission's event log, and fetch
+merged results that are byte-identical to running the same sweep locally
+(both sides render through :func:`repro.core.export.runs_to_text`).
+
+Design points, in the order they matter:
+
+* **Coalescing.**  A submission's id is a hash of its unique job keys
+  (:func:`~repro.service.protocol.submission_id`).  While a submission
+  is queued or running, an identical submit from any client returns the
+  *same* id instead of enqueueing a second copy — many concurrent
+  clients requesting the paper's full design space cost exactly one
+  simulation pass.  A re-submit after completion also returns the same
+  id; its results are served instantly from the store.
+* **Backpressure.**  The submission queue is bounded
+  (``queue_depth``); a submit that would overflow it is rejected with
+  the typed ``queue-full`` error rather than queued into unbounded
+  memory.  Clients back off and retry — the daemon never does silent
+  load shedding.
+* **Worker pool.**  ``workers`` daemon threads drain the queue; each
+  executes its submission through a :class:`~repro.runner.BatchRunner`
+  (process-pool fan-out, bounded retry, shared-store writes) in chunks,
+  checking the cancel flag between chunks so ``cancel`` takes effect
+  mid-submission without killing workers.
+* **Done-authority.**  Results live in the daemon's shared
+  :class:`~repro.runner.ResultCache`; the store's eviction guard
+  (``protect_keys``) covers every live submission's keys, mirroring the
+  campaign-layer invariant that store presence is the done-authority.
+* **Graceful drain.**  :meth:`drain` stops intake (submits fail with
+  ``draining``) while queued and running submissions finish;
+  :meth:`stop` drains, waits for the queue to empty and joins the
+  workers.  ``repro serve`` wires SIGTERM/SIGINT to exactly this path.
+"""
+
+from __future__ import annotations
+
+import collections
+import dataclasses
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.export import runs_to_text
+from repro.core.metrics import RunMetrics
+from repro.errors import RunnerError
+from repro.runner.cache import ResultCache, _read_jsonl
+from repro.runner.events import EventLog
+from repro.runner.job import Job
+from repro.runner.pool import DEFAULT_RETRIES, BatchRunner
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    ServiceError,
+    build_jobs,
+    check_spec_types,
+    submission_id,
+)
+
+#: Default bound on queued (not yet running) submissions.
+DEFAULT_QUEUE_DEPTH = 16
+
+#: Directory names under the daemon's state directory.
+STORE_DIR = "store"
+EVENTS_DIR = "events"
+
+#: Submission lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+CANCELLED = "cancelled"
+
+#: States a submission never leaves.
+TERMINAL = (DONE, FAILED, CANCELLED)
+
+
+@dataclasses.dataclass
+class Submission:
+    """One coalesced unit of client demand: a unique-job work list."""
+
+    id: str
+    jobs: list[Job]
+    keys: list[str]
+    state: str = QUEUED
+    error: str = ""
+    #: How many submits coalesced onto this submission.
+    clients: int = 1
+    created: float = 0.0
+    finished: float = 0.0
+    events_path: Path | None = None
+    cancel_requested: bool = False
+
+    def snapshot(self, store: ResultCache) -> dict[str, Any]:
+        """Status payload: lifecycle state plus store-backed progress."""
+        done = sum(1 for key in self.keys if store.contains(key))
+        return {
+            "id": self.id,
+            "state": self.state,
+            "total": len(self.keys),
+            "done": done,
+            "clients": self.clients,
+            "error": self.error,
+            "cancel_requested": self.cancel_requested,
+        }
+
+
+class ReproDaemon:
+    """Coalescing job service over the batch-runner substrate."""
+
+    def __init__(
+        self,
+        state_dir: str | Path,
+        cache: ResultCache | None = None,
+        workers: int = 1,
+        jobs: int | None = None,
+        queue_depth: int = DEFAULT_QUEUE_DEPTH,
+        retries: int = DEFAULT_RETRIES,
+    ) -> None:
+        if workers < 1:
+            raise ServiceError("bad-request", "daemon needs >= 1 worker")
+        if queue_depth < 1:
+            raise ServiceError("bad-request", "queue depth must be >= 1")
+        self.state_dir = Path(state_dir).expanduser()
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        (self.state_dir / EVENTS_DIR).mkdir(exist_ok=True)
+        if cache is None:
+            cache = ResultCache(self.state_dir / STORE_DIR)
+        self.cache = cache
+        # Live submissions' keys are never evicted out from under a
+        # client: store presence is the service's done-authority too.
+        if self.cache.protect_keys is None:
+            self.cache.protect_keys = self._live_keys
+        self.workers = workers
+        self.jobs = jobs
+        self.queue_depth = queue_depth
+        self.retries = retries
+        self._lock = threading.Lock()
+        self._wake = threading.Condition(self._lock)
+        self._queue: collections.deque[Submission] = collections.deque()
+        self._submissions: dict[str, Submission] = {}
+        self._running: set[str] = set()
+        self._threads: list[threading.Thread] = []
+        self._draining = False
+        self._stopping = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the worker threads (idempotent)."""
+        with self._lock:
+            if self._threads:
+                return
+            self._threads = [
+                threading.Thread(
+                    target=self._worker_loop,
+                    name=f"repro-service-worker-{index}",
+                    daemon=True,
+                )
+                for index in range(self.workers)
+            ]
+        for thread in self._threads:
+            thread.start()
+
+    def drain(self) -> None:
+        """Stop intake; queued and running submissions keep going."""
+        with self._wake:
+            self._draining = True
+            self._wake.notify_all()
+
+    def stop(self, timeout: float | None = None) -> bool:
+        """Drain, let the queue empty, and join the workers.
+
+        Returns True when every worker exited within ``timeout``.
+        """
+        self.drain()
+        with self._wake:
+            self._stopping = True
+            self._wake.notify_all()
+        clean = True
+        for thread in self._threads:
+            thread.join(timeout)
+            clean = clean and not thread.is_alive()
+        return clean
+
+    def wait_idle(self, timeout: float | None = None) -> bool:
+        """Block until no submission is queued or running."""
+        deadline = (
+            None if timeout is None
+            else time.monotonic() + timeout  # noqa: REP001 - host scheduling, not simulated time
+        )
+        with self._wake:
+            while self._queue or self._running:
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()  # noqa: REP001 - host scheduling, not simulated time
+                    if remaining <= 0:
+                        return False
+                self._wake.wait(remaining if remaining is not None else 0.5)
+        return True
+
+    def _live_keys(self) -> set[str]:
+        """Union of every tracked submission's job keys (evict guard)."""
+        with self._lock:
+            keys: set[str] = set()
+            for submission in self._submissions.values():
+                keys.update(submission.keys)
+            return keys
+
+    # ------------------------------------------------------------------
+    # client operations
+    # ------------------------------------------------------------------
+    def submit(self, spec: dict[str, Any]) -> dict[str, Any]:
+        """Register a submission spec; coalesce onto an identical one.
+
+        Job construction happens outside the lock (it hashes configs),
+        the queue/coalesce decision inside it.
+        """
+        check_spec_types(spec)
+        jobs = build_jobs(spec)
+        unique: dict[str, Job] = {}
+        for job in jobs:
+            unique.setdefault(job.key(), job)
+        keys = list(unique)
+        sub_id = submission_id(keys)
+        with self._wake:
+            existing = self._submissions.get(sub_id)
+            if existing is not None and existing.state not in (FAILED, CANCELLED):
+                # Queued, running or done: one simulation pass serves
+                # every identical client.
+                existing.clients += 1
+                payload = existing.snapshot(self.cache)
+                payload.update({"ok": True, "coalesced": True})
+                return payload
+            if self._draining:
+                raise ServiceError(
+                    "draining", "daemon is draining; not accepting submissions"
+                )
+            if len(self._queue) >= self.queue_depth:
+                raise ServiceError(
+                    "queue-full",
+                    f"submission queue is full ({self.queue_depth} deep); "
+                    "retry after in-flight work completes",
+                )
+            if existing is not None:
+                # Failed or cancelled earlier: re-attempt under the same
+                # id with a fresh lifecycle.
+                submission = existing
+                submission.state = QUEUED
+                submission.error = ""
+                submission.cancel_requested = False
+                submission.clients += 1
+            else:
+                submission = Submission(
+                    id=sub_id,
+                    jobs=list(unique.values()),
+                    keys=keys,
+                    created=time.time(),  # noqa: REP001 - service bookkeeping, not simulated time
+                    events_path=self.state_dir / EVENTS_DIR / f"{sub_id}.jsonl",
+                )
+                self._submissions[sub_id] = submission
+            self._queue.append(submission)
+            self._wake.notify_all()
+            payload = submission.snapshot(self.cache)
+            payload.update({"ok": True, "coalesced": False})
+            return payload
+
+    def _get(self, sub_id: Any) -> Submission:
+        if not isinstance(sub_id, str) or not sub_id:
+            raise ServiceError("bad-request", "missing submission id")
+        with self._lock:
+            submission = self._submissions.get(sub_id)
+        if submission is None:
+            raise ServiceError("unknown-job", f"no submission {sub_id!r}")
+        return submission
+
+    def status(self, sub_id: Any) -> dict[str, Any]:
+        submission = self._get(sub_id)
+        payload = submission.snapshot(self.cache)
+        payload["ok"] = True
+        return payload
+
+    def events(self, sub_id: Any, since: int = 0) -> dict[str, Any]:
+        """Event records of one submission from offset ``since``."""
+        submission = self._get(sub_id)
+        if not isinstance(since, int) or since < 0:
+            raise ServiceError("bad-request", "'since' must be an int >= 0")
+        records: list[dict[str, Any]] = []
+        if submission.events_path is not None:
+            records = _read_jsonl(submission.events_path)
+        return {
+            "ok": True,
+            "id": submission.id,
+            "state": submission.state,
+            "events": records[since:],
+            "next": len(records),
+        }
+
+    def results(self, sub_id: Any, fmt: str = "csv") -> dict[str, Any]:
+        """Merged results of a completed submission, as export text."""
+        submission = self._get(sub_id)
+        if submission.state != DONE:
+            raise ServiceError(
+                "not-done",
+                f"submission {submission.id} is {submission.state}; "
+                "results need state 'done'"
+                + (f" ({submission.error})" if submission.error else ""),
+            )
+        runs: list[RunMetrics] = []
+        missing = 0
+        for key in submission.keys:
+            metrics = self.cache.get(key)
+            if metrics is None:
+                missing += 1
+            else:
+                runs.append(metrics)
+        if missing:
+            raise ServiceError(
+                "incomplete",
+                f"{missing} of {len(submission.keys)} stored result(s) "
+                "vanished from the store; resubmit to re-simulate",
+            )
+        return {
+            "ok": True,
+            "id": submission.id,
+            "format": fmt,
+            "text": runs_to_text(runs, fmt),
+        }
+
+    def cancel(self, sub_id: Any) -> dict[str, Any]:
+        """Cancel a submission; running work stops at a chunk boundary."""
+        submission = self._get(sub_id)
+        with self._wake:
+            if submission.state == QUEUED:
+                try:
+                    self._queue.remove(submission)
+                except ValueError:
+                    pass  # a worker grabbed it between checks
+                else:
+                    submission.state = CANCELLED
+                    self._wake.notify_all()
+            if submission.state in (QUEUED, RUNNING):
+                submission.cancel_requested = True
+        payload = submission.snapshot(self.cache)
+        payload["ok"] = True
+        return payload
+
+    def ping(self) -> dict[str, Any]:
+        with self._lock:
+            states = sorted(
+                sub.state for sub in self._submissions.values()
+            )
+        return {
+            "ok": True,
+            "protocol": PROTOCOL_VERSION,
+            "draining": self._draining,
+            "queued": states.count(QUEUED),
+            "running": states.count(RUNNING),
+            "submissions": len(states),
+        }
+
+    def handle(self, request: dict[str, Any]) -> dict[str, Any]:
+        """Dispatch one decoded request to the matching operation."""
+        op = request.get("op")
+        if op == "submit":
+            return self.submit(request.get("spec", {}))
+        if op == "status":
+            return self.status(request.get("id"))
+        if op == "events":
+            return self.events(request.get("id"), request.get("since", 0))
+        if op == "results":
+            return self.results(request.get("id"), request.get("format", "csv"))
+        if op == "cancel":
+            return self.cancel(request.get("id"))
+        if op == "ping":
+            return self.ping()
+        raise ServiceError("bad-request", f"unknown operation {op!r}")
+
+    # ------------------------------------------------------------------
+    # worker side
+    # ------------------------------------------------------------------
+    def _next_submission(self) -> Submission | None:
+        """Block until a submission is available or the daemon stops."""
+        with self._wake:
+            while True:
+                if self._queue:
+                    submission = self._queue.popleft()
+                    submission.state = RUNNING
+                    self._running.add(submission.id)
+                    return submission
+                if self._stopping:
+                    return None
+                self._wake.wait(0.5)
+
+    def _worker_loop(self) -> None:
+        while True:
+            submission = self._next_submission()
+            if submission is None:
+                return
+            try:
+                self._execute(submission)
+            finally:
+                with self._wake:
+                    self._running.discard(submission.id)
+                    self._wake.notify_all()
+
+    def _chunks(self, submission: Submission) -> list[list[Job]]:
+        """Cancel-granularity slices of the submission's unique jobs."""
+        width = max(1, self.jobs or (len(submission.jobs)))
+        return [
+            submission.jobs[start:start + width]
+            for start in range(0, len(submission.jobs), width)
+        ]
+
+    def _execute(self, submission: Submission) -> None:
+        """Run one submission through the batch runner, chunk by chunk."""
+        events = (
+            EventLog(submission.events_path)
+            if submission.events_path is not None else None
+        )
+        runner = BatchRunner(
+            jobs=self.jobs,
+            cache=self.cache,
+            retries=self.retries,
+            events=events,
+        )
+        if events is not None:
+            events.emit(
+                "submission_start", id=submission.id,
+                units=len(submission.keys), clients=submission.clients,
+            )
+        error = ""
+        cancelled = False
+        try:
+            for chunk in self._chunks(submission):
+                if submission.cancel_requested:
+                    cancelled = True
+                    break
+                try:
+                    runner.run(chunk)
+                except RunnerError as exc:
+                    error = str(exc).splitlines()[0]
+                    break
+        except Exception as exc:  # worker threads must never die silently
+            error = f"{type(exc).__name__}: {exc}"
+        with self._wake:
+            if cancelled:
+                submission.state = CANCELLED
+            elif error:
+                submission.state = FAILED
+                submission.error = error
+            else:
+                submission.state = DONE
+            submission.finished = time.time()  # noqa: REP001 - service bookkeeping, not simulated time
+            self._wake.notify_all()
+        if events is not None:
+            events.emit(
+                "submission_end", id=submission.id,
+                state=submission.state, error=error,
+            )
+            events.close()
+
+
+__all__ = [
+    "DEFAULT_QUEUE_DEPTH",
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL",
+    "ReproDaemon",
+    "Submission",
+]

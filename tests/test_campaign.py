@@ -11,6 +11,7 @@ import dataclasses
 import multiprocessing
 import os
 import signal
+import threading
 import time
 from pathlib import Path
 
@@ -20,6 +21,7 @@ from repro.cli import main
 from repro.core.export import export_runs
 from repro.errors import ConfigError, RunnerError, UsageError
 from repro.runner import (
+    BatchRunner,
     CampaignManifest,
     CampaignWorker,
     Job,
@@ -487,3 +489,98 @@ class TestCampaignCLI:
     def test_status_on_missing_campaign_errors(self, capsys, tmp_path):
         assert main(["campaign", "status", str(tmp_path / "nope")]) == 2
         assert "no campaign manifest" in capsys.readouterr().err
+
+
+def _worker_sigterm_victim(directory):
+    """Child: SIGTERM itself mid-batch; held claims must be released."""
+    def bomb(self, jobs):
+        os.kill(os.getpid(), signal.SIGTERM)
+        time.sleep(10)
+        return []
+
+    BatchRunner.run = bomb
+    CampaignWorker(directory, worker="victim", jobs=1, poll=0.01).run()
+    os._exit(0)  # unreachable: SystemExit(143) unwinds first
+
+
+class TestWorkerLifecycle:
+    """Claim-freshness and claim-release regression tests."""
+
+    def test_heartbeat_thread_keeps_claim_fresh_mid_batch(
+        self, tmp_path, monkeypatch
+    ):
+        # Regression: heartbeats used to fire only between batches, so a
+        # single simulation longer than stale_after let another worker
+        # steal the claim mid-flight and duplicate the work.
+        camp = tmp_path / "camp"
+        CampaignManifest.create(camp, [_job()])
+        real_run = BatchRunner.run
+
+        def slow_run(self, jobs):
+            time.sleep(1.2)
+            return real_run(self, jobs)
+
+        monkeypatch.setattr(BatchRunner, "run", slow_run)
+        worker = CampaignWorker(
+            camp, worker="slow", jobs=1, poll=0.01, stale_after=0.4)
+        thread = threading.Thread(target=worker.run)
+        thread.start()
+        try:
+            deadline = time.monotonic() + 30  # noqa: REP001 - test scheduling, not simulated time
+            while not read_claims(camp):
+                assert time.monotonic() < deadline, "claim never appeared"  # noqa: REP001 - test scheduling, not simulated time
+                time.sleep(0.01)
+            key = next(iter(read_claims(camp)))
+            time.sleep(0.8)  # well past stale_after
+            # The background heartbeat kept the claim fresh: a takeover
+            # attempt must lose even though the batch is still running.
+            assert not try_claim(camp, key, "thief", stale_after=0.4)
+        finally:
+            thread.join(timeout=60)
+        assert not read_claims(camp)
+        assert campaign_status(camp).complete
+
+    def test_evict_never_drops_manifest_protected_keys(self, tmp_path):
+        # Regression: store entry presence is the campaign's
+        # done-authority, so eviction of a done unit's entry silently
+        # flipped it back to pending on the next status/claim pass.
+        jobs = [_job(seed=s) for s in (1, 2)]
+        camp = tmp_path / "camp"
+        CampaignManifest.create(camp, jobs)
+        store = default_store(camp)
+        metrics = jobs[0].execute()
+        manifest_keys = [job.key() for job in jobs]
+        for key in manifest_keys:
+            store.put(key, metrics)
+        store.put("f" * 64, metrics)  # unrelated, fair game
+        evicted = store.evict(0)
+        assert evicted == ["f" * 64]
+        assert all(store.contains(key) for key in manifest_keys)
+
+    def test_keyboard_interrupt_releases_held_claims(
+        self, tmp_path, monkeypatch
+    ):
+        camp = tmp_path / "camp"
+        CampaignManifest.create(camp, [_job()])
+
+        def interrupt(self, jobs):
+            raise KeyboardInterrupt  # noqa: REP003 - simulating ctrl-C under test
+
+        monkeypatch.setattr(BatchRunner, "run", interrupt)
+        with pytest.raises(KeyboardInterrupt):
+            CampaignWorker(camp, worker="ctrlc", jobs=1, poll=0.01).run()
+        # The claim was handed back immediately, not left to go stale.
+        assert not read_claims(camp)
+
+    def test_sigterm_releases_held_claims(self, tmp_path):
+        camp = tmp_path / "camp"
+        CampaignManifest.create(camp, [_job()])
+        ctx = _fork()
+        proc = ctx.Process(
+            target=_worker_sigterm_victim, args=(str(camp),))
+        proc.start()
+        proc.join(timeout=120)
+        assert proc.exitcode == 128 + signal.SIGTERM
+        assert not read_claims(camp)
+        # The unit is untouched: still claimable by the next worker.
+        assert try_claim(camp, _job().key(), "successor")

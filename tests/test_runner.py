@@ -459,6 +459,55 @@ class TestProgressLine:
         assert captured.out == ""
         assert "[1/1] jobs done" in captured.err
 
+    def test_non_tty_updates_are_throttled(self, monkeypatch):
+        # Regression: plain mode used to emit one line per completed
+        # job, flooding CI logs on large sweeps.  Updates inside the
+        # interval that advance less than percent_step stay silent.
+        clock = {"now": 100.0}
+        monkeypatch.setattr(
+            "repro.runner.events.time.monotonic", lambda: clock["now"])
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream, min_interval=5.0,
+                            percent_step=10.0)
+        line.update(1, 100)  # first update always emits
+        clock["now"] += 1.0
+        line.update(2, 100)  # +1% after 1s: suppressed
+        line.update(3, 100)  # suppressed
+        clock["now"] += 5.0
+        line.update(4, 100)  # min_interval elapsed: emits
+        line.update(15, 100)  # +11% > percent_step: emits
+        line.update(100, 100)  # final count always emits
+        line.finish()
+        emitted = stream.getvalue().splitlines()
+        assert [text.split("]")[0] + "]" for text in emitted] == [
+            "[1/100]", "[4/100]", "[15/100]", "[100/100]"]
+
+    def test_non_tty_new_failures_bypass_throttle(self, monkeypatch):
+        clock = {"now": 100.0}
+        monkeypatch.setattr(
+            "repro.runner.events.time.monotonic", lambda: clock["now"])
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream, min_interval=60.0,
+                            percent_step=50.0)
+        line.update(1, 100)
+        line.update(2, 100, failed=1)  # new failure: emits immediately
+        line.update(3, 100, failed=1)  # failure count unchanged: silent
+        emitted = stream.getvalue().splitlines()
+        assert len(emitted) == 2
+        assert "1 failed" in emitted[1]
+
+    def test_tty_updates_are_never_throttled(self, monkeypatch):
+        clock = {"now": 100.0}
+        monkeypatch.setattr(
+            "repro.runner.events.time.monotonic", lambda: clock["now"])
+        stream = io.StringIO()
+        line = ProgressLine(stream=stream, tty=True, min_interval=60.0,
+                            percent_step=50.0)
+        for done in (1, 2, 3):
+            line.update(done, 100)
+        # Every update redrew the line: three carriage returns.
+        assert stream.getvalue().count("\r") == 3
+
 
 class TestCacheUsageStats:
     def test_usage_counters_accumulate(self, tmp_path):
