@@ -21,7 +21,9 @@ most recent entry and fails when any benchmark drops below
 ``--tolerance`` (default 0.25) of its recorded rate — deliberately loose,
 because CI runners are slower and noisier than the reference machine;
 the floor exists to catch order-of-magnitude hot-path regressions, not
-jitter.
+jitter.  ``check --regress-pct [PCT]`` adds a stricter gate against the
+*best* rate in any recorded entry (default 20%), so gradual decay across
+entries cannot hide behind the latest-entry tolerance.
 """
 
 import argparse
@@ -153,6 +155,34 @@ def cmd_check(args: argparse.Namespace) -> int:
             )
     for name in sorted(set(rates) - set(recorded)):
         print(f"  {name}: {rates[name]} (new benchmark, no recorded floor)")
+    if args.regress_pct is not None:
+        # Stricter gate against the *best* rate ever recorded, so a slow
+        # creep across several entries cannot hide behind the loose
+        # latest-entry tolerance.
+        best: dict[str, tuple[float, str]] = {}
+        for entry in trajectory["entries"]:
+            for name, rate in entry["rates"].items():
+                if rate > best.get(name, (0.0, ""))[0]:
+                    best[name] = (float(rate), entry["commit"])
+        factor = 1.0 - args.regress_pct / 100.0
+        print(f"best-entry gate: within {args.regress_pct}% of the best rate")
+        for name in sorted(best):
+            reference, commit = best[name]
+            floor = factor * reference
+            current = rates.get(name)
+            if current is None:
+                continue  # already reported missing above
+            verdict = "ok" if current >= floor else "REGRESSION"
+            print(
+                f"  {name}: {current} vs best {reference} "
+                f"(entry {commit}, floor {floor:.1f}) {verdict}"
+            )
+            if current < floor:
+                failures.append(
+                    f"{name}: {current} kcycles/s is more than "
+                    f"{args.regress_pct}% below the best recorded rate "
+                    f"{reference} (entry {commit})"
+                )
     if failures:
         print("perf_trajectory: FAILED", file=sys.stderr)
         for failure in failures:
@@ -184,6 +214,11 @@ def main(argv: list[str] | None = None) -> int:
         "--tolerance", type=float, default=DEFAULT_TOLERANCE,
         help="minimum acceptable fraction of the recorded rate "
              f"(default: {DEFAULT_TOLERANCE})")
+    check.add_argument(
+        "--regress-pct", type=float, default=None, nargs="?", const=20.0,
+        metavar="PCT",
+        help="also fail when a rate drops more than PCT%% below the best "
+             "rate in any recorded entry (default when given: 20)")
     check.set_defaults(func=cmd_check)
     args = parser.parse_args(argv)
     return args.func(args)

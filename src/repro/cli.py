@@ -133,7 +133,13 @@ from repro.service import (
     sweep_spec,
 )
 from repro.runner.cache import default_cache_dir
-from repro.sim.config import GPUConfig, fermi_gtx480, small_gpu, tiny_gpu
+from repro.sim.config import (
+    ENGINE_MODES,
+    GPUConfig,
+    fermi_gtx480,
+    small_gpu,
+    tiny_gpu,
+)
 from repro.utils.tables import render_table
 from repro.workloads.suite import PAPER_SUITE, SPECS, get_benchmark
 
@@ -155,6 +161,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--benchmarks", nargs="*", default=list(PAPER_SUITE),
         metavar="NAME", help="subset of the suite to run")
+    parser.add_argument(
+        "--engine-mode", choices=ENGINE_MODES, default=None,
+        help="simulation engine: 'ticked' steps every component every "
+             "cycle, 'event' runs the event-calendar scheduler; results "
+             "are byte-identical (default: $REPRO_ENGINE_MODE or ticked)")
 
 
 def _add_runner(parser: argparse.ArgumentParser) -> None:
@@ -213,6 +224,22 @@ def _config(args: argparse.Namespace) -> GPUConfig:
     return _CONFIGS[args.config]()
 
 
+def _report_sim_profile(profiler, args: argparse.Namespace) -> None:
+    """Print the cProfile top-N to stderr; optionally dump pstats data.
+
+    Output goes to stderr so the metrics table on stdout stays
+    byte-identical with and without profiling.
+    """
+    import pstats
+
+    top = args.profile_sim if args.profile_sim is not None else 25
+    stats = pstats.Stats(profiler, stream=sys.stderr)
+    stats.sort_stats("cumulative").print_stats(top)
+    if args.profile_out:
+        profiler.dump_stats(args.profile_out)
+        print(f"wrote profile data to {args.profile_out}", file=sys.stderr)
+
+
 def _cmd_suite(_args: argparse.Namespace) -> int:
     rows = [
         [name, spec.pattern, spec.iterations,
@@ -238,14 +265,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if args.magic_latency is not None:
         config = config.with_magic_memory(args.magic_latency)
     instrumented = args.sanitize or args.timeline
-    if instrumented:
-        # Observers hook simulator objects directly, so instrumented runs
-        # stay on the in-process path regardless of --jobs (see
-        # docs/architecture.md, "Parallel execution & caching").
+    profiling = args.profile_sim is not None or args.profile_out is not None
+    if instrumented or profiling:
+        # Observers hook simulator objects directly, and cProfile must
+        # see the simulation frames, so these runs stay on the in-process
+        # path regardless of --jobs (see docs/architecture.md, "Parallel
+        # execution & caching").
+        profiler = None
+        if profiling:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
         metrics = run_kernel(
             config, get_benchmark(args.benchmark, args.scale), seed=args.seed,
             sanitize=args.sanitize, sanitize_interval=args.sanitize_interval,
             timeline=args.timeline, timeline_window=args.window)
+        if profiler is not None:
+            profiler.disable()
+            _report_sim_profile(profiler, args)
     else:
         runner = _make_runner(args)
         [metrics] = runner.run([
@@ -736,6 +774,16 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--window", type=int, default=None, metavar="CYCLES",
         help="telemetry window length in cycles (default: 2000)")
+    run.add_argument(
+        "--profile-sim", type=int, nargs="?", const=25, default=None,
+        metavar="N",
+        help="profile the simulation with cProfile and print the top N "
+             "functions by cumulative time to stderr (default N: 25; "
+             "forces the in-process path)")
+    run.add_argument(
+        "--profile-out", default=None, metavar="PATH",
+        help="also dump the raw pstats profile data to PATH (for "
+             "snakeviz / pstats post-processing; implies profiling)")
     _add_common(run)
     _add_runner(run)
     run.set_defaults(func=_cmd_run)
@@ -1090,6 +1138,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if getattr(args, "engine_mode", None):
+        # Exported (not just passed down) so forked pool workers and
+        # subprocesses inherit the choice via default_sim_config().
+        os.environ["REPRO_ENGINE_MODE"] = args.engine_mode
     try:
         return args.func(args)
     except BrokenPipeError:

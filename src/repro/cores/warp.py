@@ -50,6 +50,19 @@ class LoadInstr:
 class Warp:
     """One warp's dynamic execution state."""
 
+    __slots__ = (
+        "warp_id",
+        "_program",
+        "mlp_limit",
+        "state",
+        "remaining_compute",
+        "pending_instr",
+        "outstanding_loads",
+        "at_membar",
+        "program_done",
+        "instructions",
+    )
+
     def __init__(
         self, warp_id: int, program: Iterator[Instruction], mlp_limit: int
     ) -> None:

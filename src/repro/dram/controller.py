@@ -20,9 +20,7 @@ queue, so completions can never wedge the controller.
 
 from __future__ import annotations
 
-import operator
-
-from repro.dram.bankstate import BankState
+from repro.dram.bankstate import BankFile
 from repro.dram.scheduler import ACTIVATE, make_scheduler
 from repro.mem.address import AddressMapper
 from repro.mem.pipe import DelayPipe
@@ -31,11 +29,6 @@ from repro.mem.request import AccessKind, MemoryRequest
 from repro.sim.component import WAKE_NEVER, Component
 from repro.sim.config import GPUConfig
 from repro.utils.stats import Accumulator
-
-#: Accessors handed to the scheduling policy: C-level attribute reads of
-#: the coordinates `_admit` caches on each request.
-_CACHED_BANK = operator.attrgetter("dram_bank")
-_CACHED_ROW = operator.attrgetter("dram_row")
 
 
 class DRAMChannel(Component):
@@ -59,7 +52,10 @@ class DRAMChannel(Component):
         self.return_queue: StatQueue[MemoryRequest] = StatQueue(
             f"{name}.return_queue", cfg.return_queue_depth
         )
-        self.banks = [BankState(bank_id=i) for i in range(cfg.banks)]
+        #: Flat per-bank timing vectors (the per-cycle scan structure);
+        #: ``self.banks`` exposes the per-bank object views.
+        self.bank_file = BankFile(cfg.banks)
+        self.banks = self.bank_file.views
         self._scheduler = make_scheduler(cfg.scheduler)
         self._transfer_cycles = config.dram_transfer_cycles
         self._bus_free_at = 0
@@ -110,12 +106,11 @@ class DRAMChannel(Component):
         if self.sched_queue._items:
             # A command can issue as soon as any bank's timing expires; the
             # bus-booking window only ever delays a CAS past that point.
-            for bank in self.banks:
-                until = bank.busy_until
-                if until <= now:
-                    return now
-                if until < wake:
-                    wake = until
+            busy = self.bank_file.min_busy()
+            if busy <= now:
+                return now
+            if busy < wake:
+                wake = busy
         if wake != WAKE_NEVER and self._next_refresh is not None:
             # Busy channels take refresh lockouts at their due cycle.
             refresh = self._next_refresh
@@ -128,10 +123,7 @@ class DRAMChannel(Component):
     def _refresh(self, now: int) -> None:
         """Lock every bank out for a refresh and close its row."""
         cfg = self._config.dram
-        lockout = now + cfg.refresh_cycles
-        for bank in self.banks:
-            bank.busy_until = max(bank.busy_until, lockout)
-            bank.open_row = None
+        self.bank_file.lockout(now + cfg.refresh_cycles)
         self.refreshes += 1
         # Catch up if the channel idled through several intervals.
         while self._next_refresh <= now:
@@ -176,10 +168,8 @@ class DRAMChannel(Component):
             return
         # Both command kinds need a bank whose timing has expired, so a
         # channel with every bank mid-access can skip the queue scan.
-        for bank in self.banks:
-            if now >= bank.busy_until:
-                break
-        else:
+        bank_file = self.bank_file
+        if bank_file.min_busy() > now:
             return
         timing = self._config.dram
         headroom = self.return_queue.capacity - len(self.return_queue)
@@ -199,32 +189,31 @@ class DRAMChannel(Component):
 
         choice = self._scheduler.select(
             self.sched_queue,
-            self.banks,
-            _CACHED_BANK,
-            _CACHED_ROW,
+            bank_file.busy_until,
+            bank_file.open_row,
             now,
             cas_ok,
         )
         if choice is None:
             return
         command, request = choice
-        bank = self.banks[request.dram_bank]
+        bank = request.dram_bank
         row = request.dram_row
         if command == ACTIVATE:
             # Precharge (if a row is open) + activate; the request stays in
             # the scheduler queue until its CAS.
-            if bank.open_row is None:
-                bank.row_closed += 1
-                bank.busy_until = now + timing.t_rcd
+            if bank_file.open_row[bank] < 0:
+                bank_file.row_closed[bank] += 1
+                bank_file.busy_until[bank] = now + timing.t_rcd
             else:
-                bank.row_conflicts += 1
-                bank.busy_until = now + timing.t_rp + timing.t_rcd
-            bank.open_row = row
+                bank_file.row_conflicts[bank] += 1
+                bank_file.busy_until[bank] = now + timing.t_rp + timing.t_rcd
+            bank_file.open_row[bank] = row
             request.timestamps.setdefault("dram_act", now)
             return
         # CAS: dequeue, book the data bus, schedule completion.
         if "dram_act" not in request.timestamps:
-            bank.row_hits += 1
+            bank_file.row_hits[bank] += 1
         data_start = max(now + timing.t_cas, self._bus_free_at)
         done = data_start + self._transfer_cycles
         self._bus_free_at = done

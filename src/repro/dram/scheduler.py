@@ -13,6 +13,12 @@ stays queued until its CAS).  The policy picks which command:
   which is why the paper lists queue depth as an '='-type parameter.
 * **FCFS** — strictly serves the oldest request (activating its row if
   needed); the in-order baseline for ablations.
+
+Policies scan flat per-bank vectors (see :class:`repro.dram.bankstate.
+BankFile`) and the bank/row coordinates the controller caches on each
+request at admission (``request.dram_bank`` / ``request.dram_row``), so
+the first-ready scan is index arithmetic with no per-bank objects or
+address-mapper calls on the hot path.
 """
 
 from __future__ import annotations
@@ -20,9 +26,9 @@ from __future__ import annotations
 from collections.abc import Callable
 
 from repro.errors import ConfigError
-from repro.dram.bankstate import BankState
 from repro.mem.queue import StatQueue
 from repro.mem.request import MemoryRequest
+from repro.utils.vec import IntVec
 
 #: Command kinds returned by a scheduler.
 CAS = "cas"
@@ -37,18 +43,20 @@ class DRAMScheduler:
     def select(
         self,
         queue: StatQueue[MemoryRequest],
-        banks: list[BankState],
-        bank_of: Callable[[MemoryRequest], int],
-        row_of: Callable[[MemoryRequest], int],
+        busy_until: IntVec,
+        open_row: IntVec,
         now: int,
         cas_ok: Callable[[MemoryRequest], bool],
     ) -> tuple[str, MemoryRequest] | None:
         """Pick ``(command, request)`` or None if nothing can issue.
 
-        A CAS candidate needs its bank ready with the right row open and
-        must pass ``cas_ok`` (bus slot within reach, return-path headroom).
-        An activate candidate needs its bank ready with a different (or no)
-        row open.
+        ``busy_until`` and ``open_row`` are the channel's flat per-bank
+        vectors; queued requests carry cached ``dram_bank`` / ``dram_row``
+        coordinates.  A CAS candidate needs its bank ready
+        (``now >= busy_until[bank]``) with the right row open and must
+        pass ``cas_ok`` (bus slot within reach, return-path headroom).
+        An activate candidate needs its bank ready with a different (or
+        no) row open.
         """
         raise NotImplementedError
 
@@ -58,12 +66,12 @@ class FCFSScheduler(DRAMScheduler):
 
     name = "fcfs"
 
-    def select(self, queue, banks, bank_of, row_of, now, cas_ok):
-        for request in queue:
-            bank = banks[bank_of(request)]
-            if not bank.ready(now):
+    def select(self, queue, busy_until, open_row, now, cas_ok):
+        for request in queue._items:
+            bank = request.dram_bank
+            if now < busy_until[bank]:
                 continue
-            if bank.open_row == row_of(request):
+            if open_row[bank] == request.dram_row:
                 if cas_ok(request):
                     return (CAS, request)
                 return None  # strict order: wait for the head's bus slot
@@ -76,7 +84,7 @@ class FRFCFSScheduler(DRAMScheduler):
 
     name = "frfcfs"
 
-    def select(self, queue, banks, bank_of, row_of, now, cas_ok):
+    def select(self, queue, busy_until, open_row, now, cas_ok):
         # One age-ordered pass classifies every request: the oldest
         # serviceable row hit returns immediately, while banks with
         # *pending* hits on their open row are flagged — those rows must
@@ -89,15 +97,14 @@ class FRFCFSScheduler(DRAMScheduler):
         seen_activate = 0
         activates: list = []
         for request in queue._items:
-            bank_idx = bank_of(request)
-            bank = banks[bank_idx]
-            if bank.open_row == row_of(request):
-                pending_hits |= 1 << bank_idx
-                if now >= bank.busy_until and cas_ok(request):
+            bank = request.dram_bank
+            if open_row[bank] == request.dram_row:
+                pending_hits |= 1 << bank
+                if now >= busy_until[bank] and cas_ok(request):
                     return (CAS, request)
             else:
-                bit = 1 << bank_idx
-                if not seen_activate & bit and now >= bank.busy_until:
+                bit = 1 << bank
+                if not seen_activate & bit and now >= busy_until[bank]:
                     seen_activate |= bit
                     activates.append((bit, request))
         for bit, request in activates:

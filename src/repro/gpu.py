@@ -27,7 +27,7 @@ from repro.icnt.crossbar import Crossbar, PacketSink
 from repro.icnt.ring import RingNetwork
 from repro.mem.address import AddressMapper
 from repro.mem.request import RequestFactory
-from repro.sim.config import GPUConfig
+from repro.sim.config import GPUConfig, SimConfig
 from repro.sim.engine import DEFAULT_MAX_CYCLES, Simulator
 from repro.workloads.program import KernelProgram
 
@@ -36,14 +36,18 @@ class GPU:
     """A fully wired simulated GPU executing one kernel."""
 
     def __init__(
-        self, config: GPUConfig, kernel: KernelProgram, seed: int = 1
+        self,
+        config: GPUConfig,
+        kernel: KernelProgram,
+        seed: int = 1,
+        sim_config: SimConfig | None = None,
     ) -> None:
         self.config = config
         self.kernel = kernel
         self.seed = seed
         self.mapper = AddressMapper(config)
         self.factory = RequestFactory()
-        self.sim = Simulator()
+        self.sim = Simulator(sim_config)
 
         if kernel.scheduler is not None and kernel.scheduler != config.core.scheduler:
             from dataclasses import replace
@@ -101,7 +105,7 @@ class GPU:
                     name, config, sources=sources, sinks=sinks, route=route,
                     flit_count=flit_count, stamp_hop=hop)
 
-        self.request_xbar = make_network(
+        self.request_xbar = req = make_network(
             "req_xbar",
             [sm.l1.miss_queue for sm in self.sms],
             [
@@ -115,7 +119,7 @@ class GPU:
             lambda req: config.request_flits(req.is_write),
             "icnt_req",
         )
-        self.response_xbar = make_network(
+        self.response_xbar = resp = make_network(
             "resp_xbar",
             [l2.response_queue for l2 in self.l2_slices],
             [
@@ -130,12 +134,27 @@ class GPU:
             "icnt_resp",
         )
 
-        self.sim.add(self.request_xbar)
+        self.sim.add(req)
         for l2 in self.l2_slices:
             self.sim.add(l2)
         for dram in self.dram_channels:
             self.sim.add(dram)
-        self.sim.add(self.response_xbar)
+        self.sim.add(resp)
+
+        # Wake edges for the event engine (see Simulator.connect).  One
+        # edge per way work is handed between components; components that
+        # hold work themselves (blocked outputs, pending completions)
+        # self-report through next_wake and need no edge.
+        sim = self.sim
+        for sm in self.sms:
+            sim.connect(sm, req, signal=sm.l1.miss_queue.__len__)
+        sim.connect_fanout(req, self.l2_slices, req.delivered_sinks)
+        sim.connect_fanout(req, self.sms, req.injected_sources)
+        for l2, dram in zip(self.l2_slices, self.dram_channels):
+            sim.connect(l2, dram, signal=l2.miss_queue.__len__)
+            sim.connect(dram, l2, signal=dram.return_queue.__len__)
+            sim.connect(l2, resp, signal=l2.response_queue.__len__)
+        sim.connect_fanout(resp, self.sms, resp.delivered_sinks)
 
     # ------------------------------------------------------------------
     def done(self) -> bool:

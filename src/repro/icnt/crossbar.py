@@ -84,15 +84,29 @@ class Crossbar(Component):
         #: Source deque aliases (mutated in place by StatQueue), saving an
         #: attribute hop in the per-cycle injection/wake scans.
         self._src_items = [src._items for src in self._sources]
-        #: (source queue, its deque, input port) triples for injection.
+        #: (index, source queue, its deque, input port) rows for injection.
         self._pairs = list(
-            zip(self._sources, self._src_items, self._inputs)
+            zip(
+                range(len(self._sources)),
+                self._sources,
+                self._src_items,
+                self._inputs,
+            )
         )
+        #: Per-step wake-edge records for the event engine: which source
+        #: queues were popped and which sinks received a packet.
+        self._injected_sources: list[int] = []
+        self._delivered_sinks: list[int] = []
         #: Number of input ports holding at least one packet.
         self._active_inputs = 0
         #: Output -> input currently locked to it (None = free).
         self._out_lock: list[int | None] = [None] * len(sinks)
         self._rr: list[int] = [0] * len(sinks)
+        #: Per-output count of *unlocked* input ports whose head packet
+        #: targets it — the flat-array grant index: an output with a zero
+        #: count and no lock has no work, so arbitration skips it without
+        #: scanning the input ports.
+        self._head_dests: list[int] = [0] * len(sinks)
         # --- statistics ---
         self.flits_sent: int = 0
         self.packets_delivered: int = 0
@@ -103,9 +117,19 @@ class Crossbar(Component):
     # ------------------------------------------------------------------
     def step(self, now: int) -> None:
         self.cycles += 1
+        self._injected_sources.clear()
+        self._delivered_sinks.clear()
         self._inject(now)
         if self._active_inputs:
             self._arbitrate_and_transfer(now)
+
+    def injected_sources(self) -> list[int]:
+        """Source indices popped during the last step (event wake edges)."""
+        return self._injected_sources
+
+    def delivered_sinks(self) -> list[int]:
+        """Sink indices handed a packet during the last step."""
+        return self._delivered_sinks
 
     def next_wake(self, now: int) -> int:
         if self._active_inputs:
@@ -120,29 +144,40 @@ class Crossbar(Component):
 
     def _inject(self, now: int) -> None:
         """Move packets from source queues into input-port FIFOs."""
-        for src, items, port in self._pairs:
+        for idx, src, items, port in self._pairs:
             if not items:
                 continue
+            popped = False
             while port.has_room and not src.empty:
                 request = src.pop(now)
+                popped = True
                 request.stamp(f"{self._stamp_hop}_in", now)
+                dest = self._route(request)
                 if not port.fifo:
                     self._active_inputs += 1
+                    if port.locked_to is None:
+                        self._head_dests[dest] += 1
                 port.fifo.append(
                     _Packet(
                         request=request,
-                        dest=self._route(request),
+                        dest=dest,
                         flits_left=self._cycles_of(request),
                     )
                 )
+            if popped:
+                self._injected_sources.append(idx)
 
     def _arbitrate_and_transfer(self, now: int) -> None:
         n_inputs = len(self._inputs)
+        head_dests = self._head_dests
+        out_lock = self._out_lock
         for out_idx, sink in enumerate(self._sinks):
-            in_idx = self._out_lock[out_idx]
+            in_idx = out_lock[out_idx]
             if in_idx is None:
+                if not head_dests[out_idx]:
+                    continue  # no unlocked head targets this output
                 in_idx = self._grant(out_idx, n_inputs)
-                if in_idx is None:
+                if in_idx is None:  # pragma: no cover - count says one exists
                     continue
             port = self._inputs[in_idx]
             packet = port.fifo[0]
@@ -158,18 +193,22 @@ class Crossbar(Component):
             self.packets_delivered += 1
             packet.request.stamp(f"{self._stamp_hop}_out", now)
             sink.accept(packet.request, now)
+            self._delivered_sinks.append(out_idx)
             port.fifo.popleft()
             if not port.fifo:
                 self._active_inputs -= 1
+            else:
+                head_dests[port.fifo[0].dest] += 1
             port.locked_to = None
-            self._out_lock[out_idx] = None
+            out_lock[out_idx] = None
 
     def _grant(self, out_idx: int, n_inputs: int) -> int | None:
         """Round-robin pick of an unlocked input whose head targets out_idx."""
         start = self._rr[out_idx]
+        inputs = self._inputs
         for offset in range(n_inputs):
             in_idx = (start + offset) % n_inputs
-            port = self._inputs[in_idx]
+            port = inputs[in_idx]
             if port.locked_to is not None or not port.fifo:
                 continue
             if port.fifo[0].dest != out_idx:
@@ -177,6 +216,7 @@ class Crossbar(Component):
             port.locked_to = out_idx
             self._out_lock[out_idx] = in_idx
             self._rr[out_idx] = (in_idx + 1) % n_inputs
+            self._head_dests[out_idx] -= 1
             return in_idx
         return None
 

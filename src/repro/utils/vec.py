@@ -1,0 +1,80 @@
+"""Flat integer vectors for hot per-bank / per-warp state.
+
+The simulator keeps per-bank timing state (``busy_until``, ``open_row``)
+and similar per-entity quantities in flat integer vectors rather than
+object attributes, so the per-cycle scans become index reads instead of
+attribute hops.  The storage backend is picked by size:
+
+* **small vectors** (below :data:`NUMPY_THRESHOLD` entries) use a plain
+  Python ``list`` — per-element access from the interpreter is fastest on
+  small lists, and ``min(list)`` beats the numpy call overhead;
+* **large vectors** (scaled design-space configs reach 128 DRAM banks)
+  use a numpy ``int64`` array when numpy is importable, so whole-vector
+  reductions (:func:`vec_min`) run in C.
+
+Set ``REPRO_NO_NUMPY=1`` to force the pure-Python backend everywhere
+(used by the test suite to cover both paths).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any
+
+#: Vector length at which the numpy backend starts paying for itself.
+NUMPY_THRESHOLD = 64
+
+_np: Any = None
+if not os.environ.get("REPRO_NO_NUMPY"):
+    try:  # pragma: no cover - exercised via REPRO_NO_NUMPY matrix
+        import numpy as _np_mod
+
+        _np = _np_mod
+    except ImportError:  # pragma: no cover - numpy is in the base image
+        _np = None
+
+#: Union of the two backends.  Both support integer indexing, item
+#: assignment, ``len`` and iteration, which is all the hot paths use.
+IntVec = Any
+
+
+def int_vec(n: int, fill: int = 0) -> IntVec:
+    """A length-``n`` integer vector initialised to ``fill``.
+
+    Returns a plain list below :data:`NUMPY_THRESHOLD` entries and a
+    numpy ``int64`` array at or above it (when numpy is available).
+    """
+    if _np is not None and n >= NUMPY_THRESHOLD:
+        return _np.full(n, fill, dtype=_np.int64)
+    return [fill] * n
+
+
+def vec_min(vec: IntVec) -> int:
+    """Minimum element as a plain ``int`` (never a numpy scalar).
+
+    Wake hints derived from the result are shifted into the event
+    calendar's integer heap encoding, so the fixed-width numpy scalar
+    must not leak out.
+    """
+    if _np is not None and type(vec) is _np.ndarray:
+        return int(vec.min())
+    return min(vec)
+
+
+def vec_fill(vec: IntVec, value: int) -> None:
+    """Set every element to ``value`` in place."""
+    if _np is not None and type(vec) is _np.ndarray:
+        vec.fill(value)
+        return
+    for i in range(len(vec)):
+        vec[i] = value
+
+
+def vec_max_inplace(vec: IntVec, floor: int) -> None:
+    """Clamp every element up to at least ``floor`` in place."""
+    if _np is not None and type(vec) is _np.ndarray:
+        _np.maximum(vec, floor, out=vec)
+        return
+    for i in range(len(vec)):
+        if vec[i] < floor:
+            vec[i] = floor

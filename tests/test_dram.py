@@ -5,7 +5,7 @@ import dataclasses
 import pytest
 
 from repro.cache.l2 import L2Slice
-from repro.dram.bankstate import BankState
+from repro.dram.bankstate import BankFile, BankState
 from repro.dram.controller import DRAMChannel
 from repro.dram.scheduler import ACTIVATE, CAS, make_scheduler
 from repro.errors import ConfigError
@@ -139,11 +139,15 @@ class TestServiceFlow:
 
 
 class TestSchedulers:
-    def _queue_with(self, reqs):
+    def _queue_with(self, mapper, reqs):
+        """Build a scheduler queue with the coordinates the controller
+        caches on each request at admission."""
         from repro.mem.queue import StatQueue
 
         q = StatQueue("q", 32)
         for r in reqs:
+            r.dram_bank = mapper.dram_bank(r.line)
+            r.dram_row = mapper.dram_row(r.line)
             q.push(r, 0)
         return q
 
@@ -151,16 +155,15 @@ class TestSchedulers:
         cfg = tiny_gpu()
         mapper = AddressMapper(cfg)
         sched = make_scheduler("frfcfs")
-        banks = [BankState(i) for i in range(cfg.dram.banks)]
+        banks = BankFile(cfg.dram.banks)
         old = read(0, 0)
         young = read(1, 0 + cfg.n_partitions)  # same bank/row region
         row = mapper.dram_row(young.line)
-        banks[mapper.dram_bank(young.line)].open_row = row
-        queue = self._queue_with([old, young])
+        banks.open_row[mapper.dram_bank(young.line)] = row
+        queue = self._queue_with(mapper, [old, young])
         # "old" also maps to the same row here, so pick oldest hit = old.
         choice = sched.select(
-            queue, banks, lambda r: mapper.dram_bank(r.line),
-            lambda r: mapper.dram_row(r.line), 0, lambda r: True
+            queue, banks.busy_until, banks.open_row, 0, lambda r: True
         )
         assert choice == (CAS, old)
 
@@ -168,12 +171,11 @@ class TestSchedulers:
         cfg = tiny_gpu()
         mapper = AddressMapper(cfg)
         sched = make_scheduler("frfcfs")
-        banks = [BankState(i) for i in range(cfg.dram.banks)]
+        banks = BankFile(cfg.dram.banks)
         a = read(0, 0)
-        queue = self._queue_with([a])
+        queue = self._queue_with(mapper, [a])
         choice = sched.select(
-            queue, banks, lambda r: mapper.dram_bank(r.line),
-            lambda r: mapper.dram_row(r.line), 0, lambda r: True
+            queue, banks.busy_until, banks.open_row, 0, lambda r: True
         )
         assert choice == (ACTIVATE, a)
 
@@ -181,20 +183,19 @@ class TestSchedulers:
         cfg = tiny_gpu()
         mapper = AddressMapper(cfg)
         sched = make_scheduler("frfcfs")
-        banks = [BankState(i) for i in range(cfg.dram.banks)]
+        banks = BankFile(cfg.dram.banks)
         hit = read(0, 0)
         bank_idx = mapper.dram_bank(hit.line)
-        banks[bank_idx].open_row = mapper.dram_row(hit.line)
+        banks.open_row[bank_idx] = mapper.dram_row(hit.line)
         row_lines = cfg.dram.row_bytes // cfg.line_bytes
         # Request to a different row of the SAME bank.
         conflict_local = mapper.local_line(hit.line) + row_lines * cfg.dram.banks
         conflict = read(1, conflict_local * cfg.n_partitions)
         assert mapper.dram_bank(conflict.line) == bank_idx
-        queue = self._queue_with([conflict, hit])
+        queue = self._queue_with(mapper, [conflict, hit])
         # The hit is bus-gated (cas_ok False); activate must NOT fire on its bank.
         choice = sched.select(
-            queue, banks, lambda r: mapper.dram_bank(r.line),
-            lambda r: mapper.dram_row(r.line), 0, lambda r: False
+            queue, banks.busy_until, banks.open_row, 0, lambda r: False
         )
         assert choice is None
 
@@ -202,14 +203,13 @@ class TestSchedulers:
         cfg = tiny_gpu()
         mapper = AddressMapper(cfg)
         sched = make_scheduler("fcfs")
-        banks = [BankState(i) for i in range(cfg.dram.banks)]
+        banks = BankFile(cfg.dram.banks)
         a, b = read(0, 0), read(1, cfg.n_partitions)
-        banks[mapper.dram_bank(b.line)].open_row = mapper.dram_row(b.line)
-        queue = self._queue_with([a, b])
+        banks.open_row[mapper.dram_bank(b.line)] = mapper.dram_row(b.line)
+        queue = self._queue_with(mapper, [a, b])
         # b is a ready row hit but FCFS must handle a first (activate).
         choice = sched.select(
-            queue, banks, lambda r: mapper.dram_bank(r.line),
-            lambda r: mapper.dram_row(r.line), 0, lambda r: True
+            queue, banks.busy_until, banks.open_row, 0, lambda r: True
         )
         # a and b share the open row in this mapping? ensure decision is for a.
         assert choice[1] is a

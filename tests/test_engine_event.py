@@ -1,0 +1,257 @@
+"""Event-engine equivalence suite.
+
+The event-calendar scheduler (``SimConfig(engine_mode="event")``) is a
+pure execution-strategy change: it must produce **byte-identical**
+:class:`RunMetrics` to the ticked engine on every benchmark, under magic
+memory, for both warp schedulers and for any seed.  The matrix below is
+the lock on that contract; the hand-built components underneath pin the
+calendar semantics (same-cycle edge visibility, reschedule/cancel,
+degradation, mixed clock domains, late registration).
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.analysis import Sanitizer
+from repro.core.metrics import run_kernel
+from repro.gpu import GPU
+from repro.sim.clock import ClockDomain
+from repro.sim.component import WAKE_NEVER, Component
+from repro.sim.config import SimConfig, tiny_gpu
+from repro.sim.engine import Simulator
+from repro.workloads.suite import BENCHMARKS, get_benchmark
+
+SCALE = 0.2
+
+
+def _config(memory, scheduler):
+    config = tiny_gpu()
+    if scheduler != config.core.scheduler:
+        config = replace(config, core=replace(config.core, scheduler=scheduler))
+    if memory == "magic":
+        config = config.with_magic_memory(200)
+    return config
+
+
+def _pair(config, name, seed):
+    ticked = run_kernel(
+        config, get_benchmark(name, SCALE), seed=seed, engine_mode="ticked"
+    )
+    event = run_kernel(
+        config, get_benchmark(name, SCALE), seed=seed, engine_mode="event"
+    )
+    return ticked, event
+
+
+class TestEquivalenceMatrix:
+    """8 benchmarks x {normal, magic} x {lrr, gto} x 2 seeds."""
+
+    @pytest.mark.parametrize("name", sorted(BENCHMARKS))
+    @pytest.mark.parametrize("memory", ("normal", "magic"))
+    @pytest.mark.parametrize("scheduler", ("lrr", "gto"))
+    @pytest.mark.parametrize("seed", (1, 2))
+    def test_byte_identical_metrics(self, name, memory, scheduler, seed):
+        ticked, event = _pair(_config(memory, scheduler), name, seed)
+        assert ticked == event
+
+    def test_event_mode_engages_calendar(self):
+        """The event run must actually skip cycles, not fall back."""
+        gpu = GPU(
+            tiny_gpu(),
+            get_benchmark("leukocyte", SCALE),
+            sim_config=SimConfig(engine_mode="event"),
+        )
+        gpu.run(max_cycles=500_000)
+        assert gpu.sim.engine_mode == "event"
+        assert gpu.sim.cycles_fast_forwarded > 0
+
+
+class _Sleeper(Component):
+    """Wakes at fixed cycles; counts real steps and replayed ticks."""
+
+    def __init__(self, wakes):
+        self.wakes = sorted(wakes)
+        self.stepped = []
+        self.replayed = 0
+
+    def step(self, now):
+        self.stepped.append(now)
+
+    def next_wake(self, now):
+        for wake in self.wakes:
+            if wake >= now:
+                return wake
+        return WAKE_NEVER
+
+    def fast_forward(self, cycles):
+        self.replayed += cycles
+
+
+class _Mailbox(Component):
+    """Steps whenever its inbox is non-empty; optionally replies."""
+
+    def __init__(self, reply_to=None):
+        self.inbox = []
+        self.reply_to = reply_to
+        self.stepped = []
+        self.replayed = 0
+
+    def step(self, now):
+        if self.inbox:
+            self.stepped.append(now)
+            self.inbox.clear()
+            if self.reply_to is not None:
+                self.reply_to.inbox.append(now)
+
+    def next_wake(self, now):
+        return now if self.inbox else WAKE_NEVER
+
+    def fast_forward(self, cycles):
+        self.replayed += cycles
+
+
+def _event_sim():
+    return Simulator(SimConfig(engine_mode="event"))
+
+
+class TestCalendarSemantics:
+    def test_sleeper_cycles_accounted_exactly_once(self):
+        """steps + replayed ticks must cover [0, horizon) with no overlap."""
+        sim = _event_sim()
+        s = sim.add(_Sleeper([0, 5, 11]))
+        sim.run(lambda: sim.cycle >= 11, drain=False)
+        assert s.stepped == [0, 5]  # done() fires before cycle 11 runs
+        assert len(s.stepped) + s.replayed == 11
+
+    def test_jump_lands_on_earliest_wake(self):
+        sim = _event_sim()
+        a = sim.add(_Sleeper([0, 10]))
+        b = sim.add(_Sleeper([0, 7]))
+        sim.run(lambda: sim.cycle >= 7, drain=False)
+        # The calendar jumps straight to 7 — the earlier of the two
+        # horizons — never to a's later wake at 10.
+        assert sim.cycle == 7
+        assert sim.cycles_fast_forwarded > 0
+        assert a.stepped == b.stepped == [0]
+        assert a.replayed == b.replayed == 6
+
+    def test_forward_edge_same_cycle_visibility(self):
+        """A consumer registered after its producer sees work the same
+        cycle the producer hands it over (ticked registration order)."""
+        sim = _event_sim()
+        producer = sim.add(_Sleeper([5]))
+        consumer = _Mailbox()
+        sim.add(consumer)
+        sim.add(_Sleeper([8]))  # horizon anchor
+        producer.step = (
+            lambda now: consumer.inbox.append(now) if now == 5 else None
+        )
+        sim.connect(producer, consumer, signal=consumer.inbox.__len__)
+        sim.run(lambda: sim.cycle >= 8, drain=False)
+        assert consumer.stepped == [5]
+
+    def test_backward_edge_next_cycle_repoll(self):
+        """Work handed *backward* (to an earlier position) is serviced on
+        the next cycle — the calendar must re-poll the consumer."""
+        sim = _event_sim()
+        left = _Mailbox()
+        sim.add(left)
+        right = sim.add(_Sleeper([5]))
+        sim.add(_Sleeper([8]))  # horizon anchor
+        right.step = (
+            lambda now: left.inbox.append(now) if now == 5 else None
+        )
+        sim.connect(right, left, signal=left.inbox.__len__)
+        sim.run(lambda: sim.cycle >= 8, drain=False)
+        assert left.stepped == [6]
+
+    def test_reschedule_overrides_stale_calendar_entry(self):
+        """A wake hint that moves earlier must win over the stale entry."""
+        sim = _event_sim()
+        mover = sim.add(_Sleeper([0, 40]))
+        poker = sim.add(_Sleeper([0, 10]))
+        sim.add(_Sleeper([20]))  # horizon anchor
+        # After poker's cycle-10 step, mover's wake jumps forward to 12.
+        original = poker.step
+
+        def poke(now):
+            original(now)
+            if now == 10:
+                mover.wakes = [12]
+
+        poker.step = poke
+        sim.connect(poker, mover)  # unconditional edge: re-poll mover
+        sim.run(lambda: sim.cycle >= 20, drain=False)
+        assert 12 in mover.stepped
+        assert 40 not in mover.stepped
+
+    def test_none_hint_degrades_to_ticked(self):
+        """An unhintable component mid-run drops the calendar for good
+        while keeping every cycle stepped exactly once."""
+        sim = _event_sim()
+        hinted = sim.add(_Sleeper([0, 50]))
+        unhinted = sim.add(_Sleeper([0, 50]))
+        unhinted.next_wake = lambda now: None
+        sim.run(lambda: sim.cycle >= 50, drain=False)
+        assert sim.fast_forward_enabled is False
+        # Every cycle accounted exactly once, no duplicates.
+        assert len(hinted.stepped) + hinted.replayed == 50
+        assert sorted(set(hinted.stepped)) == hinted.stepped
+
+    def test_observer_forces_ticked_loop(self):
+        gpu = GPU(
+            tiny_gpu(),
+            get_benchmark("sc", SCALE),
+            sim_config=SimConfig(engine_mode="event"),
+        )
+        Sanitizer.attach(gpu, interval=1)
+        gpu.run(max_cycles=500_000)
+        assert gpu.sim.cycles_fast_forwarded == 0
+
+    def test_slow_clock_domain_ticks_counted(self):
+        sim = _event_sim()
+        fast = sim.add(_Sleeper([0, 20]))
+        slow = sim.add(_Sleeper([0, 20]), ClockDomain("half", period=2))
+        sim.run(lambda: sim.cycle >= 20, drain=False)
+        assert fast.replayed + len(fast.stepped) == 20
+        # The half-rate domain ticks on even cycles only: 10 edges in
+        # [0, 20), replayed or stepped.
+        assert slow.replayed + len(slow.stepped) == 10
+
+    def test_budget_overrun_raises_at_exact_cycle(self):
+        from repro.errors import CycleLimitExceeded
+
+        sim = _event_sim()
+        sim.add(_Sleeper([0, 10_000]))
+        with pytest.raises(CycleLimitExceeded):
+            sim.run(lambda: False, max_cycles=100)
+        assert sim.cycle == 100
+
+
+class TestLateRegistration:
+    def test_component_added_mid_run_gets_fast_mode(self):
+        """add() after run() started must propagate the active fast flag
+        (components cache burst state keyed on it) — and the event
+        calendar, whose compiled tables can't cover the newcomer, must
+        hand over to the ticked loop instead of never stepping it."""
+        sim = _event_sim()
+        seen = []
+
+        class _Recorder(_Sleeper):
+            def set_fast_mode(self, enabled):
+                seen.append(enabled)
+
+        recorder = _Recorder([4])
+        trigger = sim.add(_Sleeper([0, 3]))
+        original = trigger.step
+
+        def add_late(now):
+            original(now)
+            if now == 3:
+                sim.add(recorder)
+
+        trigger.step = add_late
+        sim.run(lambda: sim.cycle >= 6, drain=False)
+        assert seen == [True]
+        assert 4 in recorder.stepped
